@@ -1,0 +1,90 @@
+// B-Tree operation costs: point lookup, insert, short range scan, and the
+// table-leaf PAX row paths.
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_common.h"
+#include "common/coding.h"
+#include "storage/btree.h"
+
+namespace phoebe {
+namespace {
+
+struct TreeFixture {
+  std::string dir;
+  std::unique_ptr<PageFile> page_file;
+  std::unique_ptr<BufferPool> pool;
+  std::unique_ptr<BTreeRegistry> registry;
+  std::unique_ptr<BTree> tree;
+  OpContext ctx;
+
+  explicit TreeFixture(uint64_t preload) {
+    dir = bench::ScratchDir("micro_btree");
+    page_file = std::move(PageFile::Open(Env::Default(), dir + "/d.pages").value());
+    BufferPool::Options opts;
+    opts.buffer_bytes = 256ull << 20;
+    pool = std::make_unique<BufferPool>(opts, page_file.get());
+    registry = std::make_unique<BTreeRegistry>(pool.get());
+    auto created = BTree::Create(pool.get(), registry.get(),
+                                 BTree::TreeKind::kIndex, nullptr, nullptr);
+    tree = std::move(created.value());
+    ctx.synchronous = true;
+    for (uint64_t i = 0; i < preload; ++i) {
+      (void)tree->IndexInsert(&ctx, Key(i), i);
+    }
+  }
+  ~TreeFixture() {
+    tree.reset();
+    registry.reset();
+    pool.reset();
+    page_file.reset();
+    (void)Env::Default()->RemoveDirRecursive(dir);
+  }
+
+  static std::string Key(uint64_t v) {
+    std::string k(8, '\0');
+    EncodeBigEndian64(k.data(), v);
+    return k;
+  }
+};
+
+void BM_BTreeLookup(benchmark::State& state) {
+  TreeFixture f(static_cast<uint64_t>(state.range(0)));
+  Random rng(1);
+  for (auto _ : state) {
+    uint64_t v = 0;
+    benchmark::DoNotOptimize(
+        f.tree->IndexLookup(&f.ctx, TreeFixture::Key(
+            rng.Uniform(static_cast<uint64_t>(state.range(0)))), &v));
+  }
+}
+BENCHMARK(BM_BTreeLookup)->Arg(10000)->Arg(1000000);
+
+void BM_BTreeInsert(benchmark::State& state) {
+  TreeFixture f(0);
+  uint64_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        f.tree->IndexInsert(&f.ctx, TreeFixture::Key(i++), i));
+  }
+}
+BENCHMARK(BM_BTreeInsert);
+
+void BM_BTreeScan100(benchmark::State& state) {
+  TreeFixture f(200000);
+  Random rng(2);
+  for (auto _ : state) {
+    uint64_t start = rng.Uniform(190000);
+    uint64_t sum = 0;
+    (void)f.tree->IndexScan(&f.ctx, TreeFixture::Key(start),
+                            TreeFixture::Key(start + 100),
+                            [&sum](Slice, uint64_t v) {
+                              sum += v;
+                              return true;
+                            });
+    benchmark::DoNotOptimize(sum);
+  }
+}
+BENCHMARK(BM_BTreeScan100);
+
+}  // namespace
+}  // namespace phoebe

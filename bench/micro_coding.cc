@@ -1,0 +1,81 @@
+// Codec hot paths: varint, CRC32C, row encode/decode, frozen-block
+// compression ratio and speed.
+#include <benchmark/benchmark.h>
+
+#include "common/coding.h"
+#include "common/crc32.h"
+#include "common/random.h"
+#include "storage/frozen_block.h"
+#include "storage/schema.h"
+
+namespace phoebe {
+namespace {
+
+void BM_Varint64(benchmark::State& state) {
+  Random rng(1);
+  std::vector<uint64_t> values(1024);
+  for (auto& v : values) v = rng.Next() >> (rng.Next() % 56);
+  std::string buf;
+  for (auto _ : state) {
+    buf.clear();
+    for (uint64_t v : values) PutVarint64(&buf, v);
+    benchmark::DoNotOptimize(buf.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 1024);
+}
+BENCHMARK(BM_Varint64);
+
+void BM_Crc32c(benchmark::State& state) {
+  std::string data(static_cast<size_t>(state.range(0)), 'x');
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Crc32c(data.data(), data.size()));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_Crc32c)->Arg(64)->Arg(4096)->Arg(65536);
+
+Schema BenchSchema() {
+  return Schema({{"a", ColumnType::kInt64, 0, false},
+                 {"b", ColumnType::kInt32, 0, false},
+                 {"c", ColumnType::kDouble, 0, false},
+                 {"d", ColumnType::kString, 64, false}});
+}
+
+void BM_RowEncode(benchmark::State& state) {
+  Schema s = BenchSchema();
+  for (auto _ : state) {
+    RowBuilder b(&s);
+    b.SetInt64(0, 123456).SetInt32(1, 42).SetDouble(2, 3.14)
+        .SetString(3, "some medium length string value");
+    benchmark::DoNotOptimize(b.Encode());
+  }
+}
+BENCHMARK(BM_RowEncode);
+
+void BM_FrozenBlockEncode(benchmark::State& state) {
+  Schema s = BenchSchema();
+  std::vector<RowId> rids;
+  std::vector<std::string> rows;
+  Random rng(3);
+  for (int i = 0; i < 256; ++i) {
+    rids.push_back(static_cast<RowId>(i + 1));
+    RowBuilder b(&s);
+    b.SetInt64(0, 100000 + i).SetInt32(1, static_cast<int32_t>(rng.Uniform(100)))
+        .SetDouble(2, 1.0).SetString(3, "repetitivestringvalue");
+    rows.push_back(b.Encode().value());
+  }
+  size_t encoded_size = 0, raw = 0;
+  for (const auto& r : rows) raw += r.size();
+  for (auto _ : state) {
+    auto block = FrozenBlockCodec::Encode(s, rids, rows);
+    encoded_size = block.value().size();
+    benchmark::DoNotOptimize(block.value().data());
+  }
+  state.counters["compression"] =
+      static_cast<double>(raw) / static_cast<double>(encoded_size);
+}
+BENCHMARK(BM_FrozenBlockEncode);
+
+}  // namespace
+}  // namespace phoebe

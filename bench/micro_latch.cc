@@ -1,0 +1,75 @@
+// Hybrid-latch mode costs (Section 7.2): optimistic read+validate vs
+// shared vs exclusive acquisition, uncontended and contended.
+#include <benchmark/benchmark.h>
+
+#include <thread>
+
+#include "common/latch.h"
+
+namespace phoebe {
+namespace {
+
+void BM_OptimisticReadValidate(benchmark::State& state) {
+  HybridLatch latch;
+  uint64_t payload = 42;
+  for (auto _ : state) {
+    uint64_t v;
+    if (latch.TryOptimisticLatch(&v)) {
+      benchmark::DoNotOptimize(payload);
+      benchmark::DoNotOptimize(latch.ValidateOptimistic(v));
+    }
+  }
+}
+BENCHMARK(BM_OptimisticReadValidate);
+
+void BM_SharedLockUnlock(benchmark::State& state) {
+  HybridLatch latch;
+  for (auto _ : state) {
+    while (!latch.TryLockShared()) CpuRelax();
+    latch.UnlockShared();
+  }
+}
+BENCHMARK(BM_SharedLockUnlock)->Threads(1)->Threads(4);
+
+void BM_ExclusiveLockUnlock(benchmark::State& state) {
+  static HybridLatch latch;
+  for (auto _ : state) {
+    while (!latch.TryLockExclusive()) CpuRelax();
+    latch.UnlockExclusive();
+  }
+}
+BENCHMARK(BM_ExclusiveLockUnlock)->Threads(1)->Threads(4);
+
+void BM_OptimisticUnderWriter(benchmark::State& state) {
+  // Readers validate against a background writer: measures the retry rate
+  // the hybrid strategy tolerates during B-Tree traversal.
+  static HybridLatch latch;
+  static std::atomic<bool> stop{false};
+  std::thread writer;
+  if (state.thread_index() == 0) {
+    stop = false;
+    writer = std::thread([] {
+      while (!stop) {
+        while (!latch.TryLockExclusive()) CpuRelax();
+        latch.UnlockExclusive();
+        std::this_thread::yield();
+      }
+    });
+  }
+  uint64_t retries = 0;
+  for (auto _ : state) {
+    uint64_t v;
+    while (!latch.TryOptimisticLatch(&v) || !latch.ValidateOptimistic(v)) {
+      ++retries;
+    }
+  }
+  state.counters["retries"] = static_cast<double>(retries);
+  if (state.thread_index() == 0) {
+    stop = true;
+    writer.join();
+  }
+}
+BENCHMARK(BM_OptimisticUnderWriter)->Threads(2);
+
+}  // namespace
+}  // namespace phoebe

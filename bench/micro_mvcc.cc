@@ -1,0 +1,94 @@
+// MVCC costs: UNDO allocation, visibility with/without the twin-table fast
+// path, and version-chain traversal depth (the twin-table design ablation
+// from DESIGN.md).
+#include <benchmark/benchmark.h>
+
+#include "storage/schema.h"
+#include "txn/undo.h"
+#include "txn/visibility.h"
+
+namespace phoebe {
+namespace {
+
+Schema OneCol() { return Schema({{"v", ColumnType::kInt64, 0, false}}); }
+
+std::string Row(const Schema& s, int64_t v) {
+  RowBuilder b(&s);
+  b.SetInt64(0, v);
+  return b.Encode().value();
+}
+
+void BM_UndoAllocRecycle(benchmark::State& state) {
+  UndoArena arena;
+  std::string delta(static_cast<size_t>(state.range(0)), 'd');
+  for (auto _ : state) {
+    UndoRecord* rec = arena.Alloc(UndoKind::kUpdate, 1, 1, delta);
+    rec->ets.store(1, std::memory_order_relaxed);
+    arena.ReclaimWhile([](const UndoRecord&) { return true; }, nullptr,
+                       nullptr);
+    benchmark::DoNotOptimize(rec);
+  }
+}
+BENCHMARK(BM_UndoAllocRecycle)->Arg(32)->Arg(512);
+
+void BM_VisibilityNoTwin(benchmark::State& state) {
+  // The fast path: page has no twin table -> base tuple immediately visible.
+  Schema s = OneCol();
+  std::string base = Row(s, 7);
+  for (auto _ : state) {
+    VisibleVersion vv;
+    benchmark::DoNotOptimize(RetrieveVisibleVersion(
+        s, MakeXid(5), 10, base, false, nullptr, 1, 1, &vv));
+  }
+}
+BENCHMARK(BM_VisibilityNoTwin);
+
+void BM_VisibilityHeaderHit(benchmark::State& state) {
+  // Twin entry exists but the header ets <= snapshot: one check, no walk.
+  Schema s = OneCol();
+  UndoArena arena;
+  TwinTable twin(4);
+  std::string base = Row(s, 7);
+  UndoRecord* rec = arena.Alloc(UndoKind::kUpdate, 1, 1,
+                                DeltaCodec::MakeDelta(
+                                    s, RowView(&s, base.data()), {0}));
+  rec->ets.store(5, std::memory_order_relaxed);
+  twin.entry(1).head.store(rec, std::memory_order_relaxed);
+  for (auto _ : state) {
+    VisibleVersion vv;
+    benchmark::DoNotOptimize(RetrieveVisibleVersion(
+        s, MakeXid(9), 10, base, false, &twin.entry(1), 1, 1, &vv));
+  }
+}
+BENCHMARK(BM_VisibilityHeaderHit);
+
+void BM_VisibilityChainWalk(benchmark::State& state) {
+  // Old snapshot forces assembling N before-images.
+  Schema s = OneCol();
+  UndoArena arena;
+  TwinTable twin(4);
+  std::string base = Row(s, 1000);
+  int depth = static_cast<int>(state.range(0));
+  UndoRecord* next = nullptr;
+  // Build chain oldest..newest with sts/ets = (i, i+1).
+  for (int i = 1; i <= depth; ++i) {
+    std::string row = Row(s, i);
+    UndoRecord* rec = arena.Alloc(
+        UndoKind::kUpdate, 1, 1,
+        DeltaCodec::MakeDelta(s, RowView(&s, row.data()), {0}));
+    rec->sts.store(static_cast<uint64_t>(i), std::memory_order_relaxed);
+    rec->ets.store(static_cast<uint64_t>(i + 1), std::memory_order_relaxed);
+    rec->next.store(next, std::memory_order_relaxed);
+    next = rec;
+  }
+  twin.entry(1).head.store(next, std::memory_order_relaxed);
+  for (auto _ : state) {
+    VisibleVersion vv;
+    benchmark::DoNotOptimize(RetrieveVisibleVersion(
+        s, MakeXid(1), 1, base, false, &twin.entry(1), 1, 1, &vv));
+  }
+}
+BENCHMARK(BM_VisibilityChainWalk)->Arg(1)->Arg(8)->Arg(64);
+
+}  // namespace
+}  // namespace phoebe

@@ -1,0 +1,44 @@
+// Ablation: O(1) single-timestamp snapshot acquisition (PhoebeDB, Section
+// 6.1) vs the PostgreSQL-style scan of the proc array (baseline), as a
+// function of slot count.
+#include <benchmark/benchmark.h>
+
+#include "baseline/pg_snapshot.h"
+#include "txn/txn_manager.h"
+
+namespace phoebe {
+namespace {
+
+void BM_PhoebeSnapshot(benchmark::State& state) {
+  GlobalClock clock;
+  TxnManager tm(static_cast<uint32_t>(state.range(0)), &clock);
+  Transaction* txn = tm.Begin(0, IsolationLevel::kReadCommitted);
+  for (auto _ : state) {
+    tm.RefreshStatementSnapshot(txn);
+    benchmark::DoNotOptimize(txn->snapshot());
+  }
+  tm.FinishTransaction(txn, true);
+}
+BENCHMARK(BM_PhoebeSnapshot)->Arg(32)->Arg(256)->Arg(2048);
+
+void BM_PgSnapshotScan(benchmark::State& state) {
+  GlobalClock clock;
+  uint32_t slots = static_cast<uint32_t>(state.range(0));
+  TxnManager tm(slots, &clock);
+  // Make half the slots active so the scan has work to do.
+  std::vector<Transaction*> txns;
+  for (uint32_t i = 1; i < slots; i += 2) {
+    txns.push_back(tm.Begin(i, IsolationLevel::kReadCommitted));
+  }
+  PgSnapshotManager mgr(&tm);
+  for (auto _ : state) {
+    PgSnapshot snap = mgr.Take();
+    benchmark::DoNotOptimize(snap.xmax);
+    benchmark::DoNotOptimize(snap.xip.size());
+  }
+  for (auto* t : txns) tm.FinishTransaction(t, true);
+}
+BENCHMARK(BM_PgSnapshotScan)->Arg(32)->Arg(256)->Arg(2048);
+
+}  // namespace
+}  // namespace phoebe

@@ -1,0 +1,70 @@
+// WAL append/flush path costs: record encoding, buffered append, and the
+// GSN stamping hot path.
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_common.h"
+#include "txn/txn_manager.h"
+#include "wal/wal_manager.h"
+
+namespace phoebe {
+namespace {
+
+void BM_WalRecordEncode(benchmark::State& state) {
+  std::string payload(static_cast<size_t>(state.range(0)), 'x');
+  std::string buf;
+  for (auto _ : state) {
+    buf.clear();
+    WalRecordCodec::Encode(WalRecordType::kUpdate, 1, 2, 3, payload, &buf);
+    benchmark::DoNotOptimize(buf.data());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_WalRecordEncode)->Arg(64)->Arg(512);
+
+void BM_WalAppend(benchmark::State& state) {
+  std::string dir = bench::ScratchDir("micro_wal");
+  WalManager::Options opts;
+  opts.dir = dir;
+  opts.num_writers = 4;
+  opts.sync_on_flush = false;
+  auto wal_r = WalManager::Open(Env::Default(), opts);
+  auto wal = std::move(wal_r.value());
+  GlobalClock clock;
+  TxnManager tm(4, &clock);
+  Transaction* txn = tm.Begin(0, IsolationLevel::kReadCommitted);
+  std::string payload(128, 'p');
+  uint64_t gsn = 0;
+  for (auto _ : state) {
+    wal->LogData(txn, WalRecordType::kUpdate, ++gsn, payload);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * 128);
+  tm.FinishTransaction(txn, true);
+  wal.reset();
+  (void)Env::Default()->RemoveDirRecursive(dir);
+}
+BENCHMARK(BM_WalAppend);
+
+void BM_GsnStamping(benchmark::State& state) {
+  std::string dir = bench::ScratchDir("micro_gsn");
+  WalManager::Options opts;
+  opts.dir = dir;
+  opts.num_writers = 2;
+  opts.sync_on_flush = false;
+  auto wal_r = WalManager::Open(Env::Default(), opts);
+  auto wal = std::move(wal_r.value());
+  GlobalClock clock;
+  TxnManager tm(2, &clock);
+  Transaction* txn = tm.Begin(0, IsolationLevel::kReadCommitted);
+  BufferFrame frame;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(wal->OnPageWrite(txn, &frame));
+  }
+  tm.FinishTransaction(txn, true);
+  wal.reset();
+  (void)Env::Default()->RemoveDirRecursive(dir);
+}
+BENCHMARK(BM_GsnStamping);
+
+}  // namespace
+}  // namespace phoebe

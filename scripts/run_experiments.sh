@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# Runs the full evaluation suite (Exp 1-9 + microbenchmarks) and captures
+# the output. Usage:
+#   scripts/run_experiments.sh [build-dir] [seconds-per-run]
+set -u
+
+BUILD="${1:-build}"
+SECONDS_PER_RUN="${2:-3}"
+OUT="${3:-bench_output.txt}"
+
+: > "$OUT"
+
+run() {
+  echo "===== $* =====" | tee -a "$OUT"
+  "$@" 2>&1 | tee -a "$OUT"
+  echo | tee -a "$OUT"
+}
+
+run "$BUILD/bench/exp1_tpmc" --seconds="$SECONDS_PER_RUN"
+run "$BUILD/bench/exp2_scalability" --seconds="$SECONDS_PER_RUN"
+run "$BUILD/bench/exp3_wal_flush" --seconds="$SECONDS_PER_RUN"
+run "$BUILD/bench/exp4_disk_io" --seconds=8
+run "$BUILD/bench/exp5_buffer_size" --seconds="$SECONDS_PER_RUN"
+run "$BUILD/bench/exp6_coroutine_vs_thread" --seconds="$SECONDS_PER_RUN"
+run "$BUILD/bench/exp7_breakdown" --seconds="$SECONDS_PER_RUN"
+run "$BUILD/bench/exp8_vs_baseline" --seconds="$SECONDS_PER_RUN" --cycle-seconds=2
+run "$BUILD/bench/exp9_odb" --seconds="$SECONDS_PER_RUN"
+
+for b in "$BUILD"/bench/micro_*; do
+  run "$b" --benchmark_min_time=0.1
+done
+
+echo "results captured in $OUT"

@@ -1,0 +1,49 @@
+#include "baseline/lock_table.h"
+
+#include "common/profiler.h"
+
+namespace phoebe {
+
+Status GlobalLockTable::AcquireExclusive(uint64_t key, Xid xid,
+                                         bool blocking) {
+  ComponentScope prof(Component::kLocking);
+  Shard& shard = ShardOf(key);
+  std::unique_lock<std::mutex> lk(shard.mu);
+  for (;;) {
+    auto it = shard.owners.find(key);
+    if (it == shard.owners.end()) {
+      shard.owners.emplace(key, xid);
+      return Status::OK();
+    }
+    if (it->second == xid) return Status::OK();  // re-entrant
+    if (!blocking) return Status::Blocked(WaitKind::kXidLock, it->second);
+    shard.cv.wait(lk);
+  }
+}
+
+void GlobalLockTable::Release(uint64_t key, Xid xid) {
+  Shard& shard = ShardOf(key);
+  {
+    std::lock_guard<std::mutex> lk(shard.mu);
+    auto it = shard.owners.find(key);
+    if (it != shard.owners.end() && it->second == xid) {
+      shard.owners.erase(it);
+    }
+  }
+  shard.cv.notify_all();
+}
+
+void GlobalLockTable::ReleaseAll(Xid xid, const std::vector<uint64_t>& keys) {
+  for (uint64_t key : keys) Release(key, xid);
+}
+
+size_t GlobalLockTable::LiveLocks() const {
+  size_t n = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lk(shard.mu);
+    n += shard.owners.size();
+  }
+  return n;
+}
+
+}  // namespace phoebe

@@ -1,0 +1,62 @@
+#ifndef PHOEBE_BASELINE_PG_SNAPSHOT_H_
+#define PHOEBE_BASELINE_PG_SNAPSHOT_H_
+
+#include <algorithm>
+#include <vector>
+
+#include "common/constants.h"
+#include "txn/txn_manager.h"
+
+namespace phoebe {
+
+/// PostgreSQL-style snapshot: xmin/xmax plus the in-progress transaction
+/// list, built by scanning the proc array (here: the slot registry). This is
+/// the O(active-transactions) acquisition path PhoebeDB replaces with a
+/// single timestamp (Section 6.1); baseline engine mode uses it so Exp 8 /
+/// micro_snapshot can measure the difference.
+struct PgSnapshot {
+  Timestamp xmin = 0;  // oldest active start ts
+  Timestamp xmax = 0;  // next timestamp at snapshot time
+  std::vector<Timestamp> xip;  // active transaction start timestamps, sorted
+
+  /// A commit timestamp is visible iff it precedes xmax; start timestamps in
+  /// xip are in progress (their future commits land above xmax, so the
+  /// timestamp comparison already excludes them — xip is retained for
+  /// fidelity and inspection).
+  bool CommitVisible(Timestamp cts) const { return cts <= xmax; }
+  bool InProgress(Timestamp start_ts) const {
+    return std::binary_search(xip.begin(), xip.end(), start_ts);
+  }
+};
+
+/// Builds PostgreSQL-style snapshots from the active slot registry.
+class PgSnapshotManager {
+ public:
+  explicit PgSnapshotManager(TxnManager* tm) : tm_(tm) {}
+
+  /// The O(n) scan: walk every slot, collect in-progress transactions.
+  PgSnapshot Take() const {
+    PgSnapshot snap;
+    snap.xmax = tm_->clock()->Current();
+    snap.xmin = snap.xmax;
+    const uint32_t n = tm_->num_slots();
+    snap.xip.reserve(16);
+    for (uint32_t i = 0; i < n; ++i) {
+      auto& s = tm_->slot(i);
+      uint64_t xid = s.active_xid.load(std::memory_order_acquire);
+      if (xid == 0) continue;
+      Timestamp ts = s.active_start_ts.load(std::memory_order_relaxed);
+      snap.xip.push_back(ts);
+      snap.xmin = std::min(snap.xmin, ts);
+    }
+    std::sort(snap.xip.begin(), snap.xip.end());
+    return snap;
+  }
+
+ private:
+  TxnManager* tm_;
+};
+
+}  // namespace phoebe
+
+#endif  // PHOEBE_BASELINE_PG_SNAPSHOT_H_

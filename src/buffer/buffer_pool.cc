@@ -1,0 +1,165 @@
+#include "buffer/buffer_pool.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/crc32.h"
+#include "storage/node.h"
+#include <new>
+
+namespace phoebe {
+
+BufferPool::BufferPool(const Options& options, PageFile* page_file)
+    : page_file_(page_file),
+      io_(static_cast<int>(options.io_threads)),
+      low_watermark_(options.free_low_watermark) {
+  uint32_t nparts = std::max<uint32_t>(1, options.partitions);
+  size_t total_frames =
+      std::max<size_t>(nparts * 8, options.buffer_bytes / sizeof(BufferFrame));
+  frames_per_partition_ = total_frames / nparts;
+  total_frames = frames_per_partition_ * nparts;
+
+  arena_.reset(new char[total_frames * sizeof(BufferFrame) + 64]);
+  // Align arena start to 64 bytes.
+  char* base = arena_.get();
+  uintptr_t misalign = reinterpret_cast<uintptr_t>(base) & 63;
+  if (misalign != 0) base += 64 - misalign;
+
+  all_frames_.reserve(total_frames);
+  parts_.reserve(nparts);
+  for (uint32_t p = 0; p < nparts; ++p) {
+    parts_.push_back(std::make_unique<Partition>());
+  }
+  for (size_t i = 0; i < total_frames; ++i) {
+    auto* bf = new (base + i * sizeof(BufferFrame)) BufferFrame();
+    bf->partition = static_cast<uint16_t>(i / frames_per_partition_);
+    all_frames_.push_back(bf);
+    parts_[bf->partition]->free_list.push_back(bf);
+  }
+}
+
+BufferPool::~BufferPool() {
+  for (auto* bf : all_frames_) bf->~BufferFrame();
+}
+
+BufferFrame* BufferPool::AllocateFrame(uint32_t partition) {
+  uint32_t nparts = partitions();
+  for (uint32_t attempt = 0; attempt < nparts; ++attempt) {
+    Partition& part = *parts_[(partition + attempt) % nparts];
+    std::lock_guard<std::mutex> lk(part.mu);
+    if (!part.free_list.empty()) {
+      BufferFrame* bf = part.free_list.back();
+      part.free_list.pop_back();
+      bf->ResetHeader();
+      bf->state.store(FrameState::kHot, std::memory_order_release);
+      stats_.allocations.fetch_add(1, std::memory_order_relaxed);
+      return bf;
+    }
+  }
+  stats_.alloc_failures.fetch_add(1, std::memory_order_relaxed);
+  return nullptr;
+}
+
+void BufferPool::FreeFrame(BufferFrame* bf) {
+  bf->state.store(FrameState::kFree, std::memory_order_release);
+  Partition& part = *parts_[bf->partition];
+  std::lock_guard<std::mutex> lk(part.mu);
+  part.free_list.push_back(bf);
+}
+
+void BufferPool::StampPageCrc(char* page) {
+  memset(page + kPageCrcOffset, 0, 4);
+  uint32_t crc = Crc32c(page, kPageSize);
+  memcpy(page + kPageCrcOffset, &crc, 4);
+}
+
+Status BufferPool::VerifyPageCrc(const char* page, PageId id) {
+  uint32_t stored;
+  memcpy(&stored, page + kPageCrcOffset, 4);
+  char scratch[4] = {0, 0, 0, 0};
+  // Compute with the crc bytes zeroed, without copying the page: CRC over
+  // [0, off) + zeros + (off+4, end).
+  uint32_t crc = Crc32c(page, kPageCrcOffset);
+  crc = Crc32c(scratch, 4, crc);
+  crc = Crc32c(page + kPageCrcOffset + 4, kPageSize - kPageCrcOffset - 4,
+               crc);
+  if (crc != stored) {
+    return Status::Corruption("page checksum mismatch on page " +
+                              std::to_string(id));
+  }
+  return Status::OK();
+}
+
+Status BufferPool::LoadPageSync(PageId id, BufferFrame* bf) {
+  stats_.loads.fetch_add(1, std::memory_order_relaxed);
+  PHOEBE_RETURN_IF_ERROR(page_file_->ReadPage(id, bf->page));
+  return VerifyPageCrc(bf->page, id);
+}
+
+void BufferPool::LoadPageAsync(AsyncIoEngine::Request* req, PageFile* file,
+                               PageId id, char* buf) {
+  stats_.loads.fetch_add(1, std::memory_order_relaxed);
+  req->op = AsyncIoEngine::Request::Op::kRead;
+  req->file = file;
+  req->page_id = id;
+  req->buf = buf;
+  io_.Submit(req);
+}
+
+Status BufferPool::WriteBack(BufferFrame* bf) {
+  if (bf->page_id == kInvalidPageId) {
+    bf->page_id = page_file_->AllocatePage();
+  }
+  StampPageCrc(bf->page);
+  PHOEBE_RETURN_IF_ERROR(page_file_->WritePage(bf->page_id, bf->page));
+  bf->dirty.store(false, std::memory_order_release);
+  stats_.evictions.fetch_add(1, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+void BufferPool::PushCooling(BufferFrame* bf) {
+  bf->state.store(FrameState::kCooling, std::memory_order_release);
+  Partition& part = *parts_[bf->partition];
+  std::lock_guard<std::mutex> lk(part.mu);
+  part.cooling.push_back(bf);
+}
+
+BufferFrame* BufferPool::PopCooling(uint32_t partition) {
+  Partition& part = *parts_[partition % partitions()];
+  std::lock_guard<std::mutex> lk(part.mu);
+  if (part.cooling.empty()) return nullptr;
+  BufferFrame* bf = part.cooling.front();
+  part.cooling.pop_front();
+  return bf;
+}
+
+bool BufferPool::RemoveCooling(BufferFrame* bf) {
+  Partition& part = *parts_[bf->partition];
+  std::lock_guard<std::mutex> lk(part.mu);
+  auto it = std::find(part.cooling.begin(), part.cooling.end(), bf);
+  if (it == part.cooling.end()) return false;
+  part.cooling.erase(it);
+  return true;
+}
+
+bool BufferPool::NeedsEviction(uint32_t partition) const {
+  const Partition& part = *parts_[partition % partitions()];
+  std::lock_guard<std::mutex> lk(part.mu);
+  return part.free_list.size() <
+         static_cast<size_t>(low_watermark_ *
+                             static_cast<double>(frames_per_partition_));
+}
+
+size_t BufferPool::FreeFrames(uint32_t partition) const {
+  const Partition& part = *parts_[partition % partitions()];
+  std::lock_guard<std::mutex> lk(part.mu);
+  return part.free_list.size();
+}
+
+size_t BufferPool::CoolingFrames(uint32_t partition) const {
+  const Partition& part = *parts_[partition % partitions()];
+  std::lock_guard<std::mutex> lk(part.mu);
+  return part.cooling.size();
+}
+
+}  // namespace phoebe

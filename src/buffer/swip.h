@@ -1,0 +1,97 @@
+#ifndef PHOEBE_BUFFER_SWIP_H_
+#define PHOEBE_BUFFER_SWIP_H_
+
+#include <atomic>
+#include <cassert>
+#include <cstdint>
+
+#include "common/constants.h"
+
+namespace phoebe {
+
+struct BufferFrame;
+
+/// Swizzle pointer (Section 5.3): a 64-bit tagged word referencing a child
+/// page in one of three states.
+///
+///   HOT      tag 00 — raw BufferFrame* (page resident, direct reference)
+///   COOLING  tag 01 — BufferFrame* still in memory but staged for eviction
+///   EVICTED  tag 10 — on-disk PageId (page not resident)
+///
+/// BufferFrames are 8-byte aligned so the low three bits of a pointer are
+/// free for tagging. Transitions: HOT -> COOLING (cooling stage entry),
+/// COOLING -> HOT (touched before eviction, "second chance"),
+/// COOLING -> EVICTED (written out), EVICTED -> HOT (reloaded & swizzled).
+class Swip {
+ public:
+  static constexpr uint64_t kTagMask = 0x3;
+  static constexpr uint64_t kTagHot = 0x0;
+  static constexpr uint64_t kTagCooling = 0x1;
+  static constexpr uint64_t kTagEvicted = 0x2;
+
+  Swip() : word_(MakeEvictedWord(kInvalidPageId)) {}
+
+  bool IsHot() const { return (Load() & kTagMask) == kTagHot; }
+  bool IsCooling() const { return (Load() & kTagMask) == kTagCooling; }
+  bool IsEvicted() const { return (Load() & kTagMask) == kTagEvicted; }
+
+  BufferFrame* frame() const {
+    uint64_t w = Load();
+    assert((w & kTagMask) != kTagEvicted);
+    return reinterpret_cast<BufferFrame*>(w & ~kTagMask);
+  }
+
+  PageId page_id() const {
+    uint64_t w = Load();
+    assert((w & kTagMask) == kTagEvicted);
+    PageId pid = w >> 2;
+    // Page ids live in 62 bits inside a swip; map the truncated invalid
+    // marker back to the canonical constant.
+    return pid == (kInvalidPageId >> 2) ? kInvalidPageId : pid;
+  }
+
+  void SetHot(BufferFrame* bf) {
+    word_.store(reinterpret_cast<uint64_t>(bf), std::memory_order_release);
+  }
+  void SetCooling(BufferFrame* bf) {
+    word_.store(reinterpret_cast<uint64_t>(bf) | kTagCooling,
+                std::memory_order_release);
+  }
+  void SetEvicted(PageId id) {
+    word_.store(MakeEvictedWord(id), std::memory_order_release);
+  }
+
+  /// Raw word (for copying swips between nodes during splits/merges).
+  uint64_t raw() const { return Load(); }
+  void set_raw(uint64_t w) { word_.store(w, std::memory_order_release); }
+
+  /// CAS on the raw word. State transitions that race with concurrent
+  /// touch/evict (COOLING -> HOT vs COOLING -> EVICTED) must go through this
+  /// so exactly one side wins.
+  bool CasRaw(uint64_t expected, uint64_t desired) {
+    return word_.compare_exchange_strong(expected, desired,
+                                         std::memory_order_acq_rel);
+  }
+
+  static uint64_t HotWord(BufferFrame* bf) {
+    return reinterpret_cast<uint64_t>(bf);
+  }
+  static uint64_t CoolingWord(BufferFrame* bf) {
+    return reinterpret_cast<uint64_t>(bf) | kTagCooling;
+  }
+  static uint64_t EvictedWord(PageId id) { return MakeEvictedWord(id); }
+
+ private:
+  static constexpr uint64_t MakeEvictedWord(PageId id) {
+    return (id << 2) | kTagEvicted;
+  }
+  uint64_t Load() const { return word_.load(std::memory_order_acquire); }
+
+  std::atomic<uint64_t> word_;
+};
+
+static_assert(sizeof(Swip) == 8, "Swip must be one word");
+
+}  // namespace phoebe
+
+#endif  // PHOEBE_BUFFER_SWIP_H_

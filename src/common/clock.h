@@ -1,0 +1,51 @@
+#ifndef PHOEBE_COMMON_CLOCK_H_
+#define PHOEBE_COMMON_CLOCK_H_
+
+#include <chrono>
+#include <cstdint>
+
+#if defined(__x86_64__) || defined(_M_X64)
+#include <x86intrin.h>
+#endif
+
+namespace phoebe {
+
+/// Cycle counter for fine-grained component profiling (Exp 7). Falls back to
+/// steady_clock nanoseconds on non-x86 platforms; the Exp 7 figure reports a
+/// relative breakdown, so the unit does not matter.
+inline uint64_t ReadCycles() {
+#if defined(__x86_64__) || defined(_M_X64)
+  return __rdtsc();
+#else
+  return static_cast<uint64_t>(
+      std::chrono::steady_clock::now().time_since_epoch().count());
+#endif
+}
+
+/// Monotonic wall-clock time in nanoseconds.
+inline uint64_t NowNanos() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+inline double NowSeconds() { return static_cast<double>(NowNanos()) * 1e-9; }
+
+/// Simple stopwatch for benchmark harnesses.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(NowNanos()) {}
+  void Reset() { start_ = NowNanos(); }
+  double ElapsedSeconds() const {
+    return static_cast<double>(NowNanos() - start_) * 1e-9;
+  }
+  uint64_t ElapsedNanos() const { return NowNanos() - start_; }
+
+ private:
+  uint64_t start_;
+};
+
+}  // namespace phoebe
+
+#endif  // PHOEBE_COMMON_CLOCK_H_

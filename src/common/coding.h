@@ -1,0 +1,78 @@
+#ifndef PHOEBE_COMMON_CODING_H_
+#define PHOEBE_COMMON_CODING_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+
+#include "common/slice.h"
+
+namespace phoebe {
+
+/// Little-endian fixed-width encoders (x86 is little-endian; we memcpy).
+inline void EncodeFixed32(char* dst, uint32_t v) { memcpy(dst, &v, 4); }
+inline void EncodeFixed64(char* dst, uint64_t v) { memcpy(dst, &v, 8); }
+inline uint32_t DecodeFixed32(const char* src) {
+  uint32_t v;
+  memcpy(&v, src, 4);
+  return v;
+}
+inline uint64_t DecodeFixed64(const char* src) {
+  uint64_t v;
+  memcpy(&v, src, 8);
+  return v;
+}
+
+inline void PutFixed32(std::string* dst, uint32_t v) {
+  char buf[4];
+  EncodeFixed32(buf, v);
+  dst->append(buf, 4);
+}
+inline void PutFixed64(std::string* dst, uint64_t v) {
+  char buf[8];
+  EncodeFixed64(buf, v);
+  dst->append(buf, 8);
+}
+
+/// Varint32/64 in the protobuf/LevelDB format.
+char* EncodeVarint32(char* dst, uint32_t v);
+char* EncodeVarint64(char* dst, uint64_t v);
+void PutVarint32(std::string* dst, uint32_t v);
+void PutVarint64(std::string* dst, uint64_t v);
+const char* GetVarint32Ptr(const char* p, const char* limit, uint32_t* value);
+const char* GetVarint64Ptr(const char* p, const char* limit, uint64_t* value);
+bool GetVarint32(Slice* input, uint32_t* value);
+bool GetVarint64(Slice* input, uint64_t* value);
+int VarintLength(uint64_t v);
+
+/// Length-prefixed slice.
+void PutLengthPrefixedSlice(std::string* dst, const Slice& value);
+bool GetLengthPrefixedSlice(Slice* input, Slice* result);
+
+/// Big-endian u64 key encoding: preserves numeric order under memcmp, used
+/// for row_id keys in the table B-Tree.
+inline void EncodeBigEndian64(char* dst, uint64_t v) {
+  for (int i = 7; i >= 0; --i) {
+    dst[i] = static_cast<char>(v & 0xff);
+    v >>= 8;
+  }
+}
+inline uint64_t DecodeBigEndian64(const char* src) {
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v = (v << 8) | static_cast<uint8_t>(src[i]);
+  }
+  return v;
+}
+
+/// ZigZag for signed deltas in frozen-block compression.
+inline uint64_t ZigZagEncode(int64_t v) {
+  return (static_cast<uint64_t>(v) << 1) ^ static_cast<uint64_t>(v >> 63);
+}
+inline int64_t ZigZagDecode(uint64_t v) {
+  return static_cast<int64_t>((v >> 1) ^ (~(v & 1) + 1));
+}
+
+}  // namespace phoebe
+
+#endif  // PHOEBE_COMMON_CODING_H_

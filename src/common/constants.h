@@ -1,0 +1,52 @@
+#ifndef PHOEBE_COMMON_CONSTANTS_H_
+#define PHOEBE_COMMON_CONSTANTS_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace phoebe {
+
+/// Size of a data page (hot/cold PAX pages and B-Tree nodes).
+inline constexpr size_t kPageSize = 16 * 1024;
+
+/// Internal row identifier: monotonically increasing per relation, used as
+/// the key of the table B-Tree (Section 5.1).
+using RowId = uint64_t;
+inline constexpr RowId kInvalidRowId = 0;
+
+/// On-disk page identifier within a PageFile.
+using PageId = uint64_t;
+inline constexpr PageId kInvalidPageId = ~0ull;
+
+/// Transaction identifier. The most significant bit is 1 (distinguishing an
+/// XID from a commit timestamp), the low 62 bits hold the start timestamp
+/// drawn from the global logical clock, and one bit is reserved (Section
+/// 6.1).
+using Xid = uint64_t;
+inline constexpr uint64_t kXidTagBit = 1ull << 63;
+inline constexpr uint64_t kXidReservedBit = 1ull << 62;
+inline constexpr uint64_t kTimestampMask = (1ull << 62) - 1;
+
+/// Commit / snapshot timestamps drawn from the 62-bit global logical clock.
+using Timestamp = uint64_t;
+inline constexpr Timestamp kInvalidTimestamp = 0;
+
+/// True iff the value stored in an ets/sts field is a transaction id (an
+/// uncommitted writer) rather than a committed timestamp.
+inline constexpr bool IsXid(uint64_t v) { return (v & kXidTagBit) != 0; }
+
+/// Build an XID from a start timestamp.
+inline constexpr Xid MakeXid(Timestamp start_ts) {
+  return kXidTagBit | (start_ts & kTimestampMask);
+}
+
+/// Extract the 62-bit start timestamp of an XID.
+inline constexpr Timestamp XidStartTs(Xid xid) { return xid & kTimestampMask; }
+
+/// Relation (table or index) identifier in the catalog.
+using RelationId = uint32_t;
+inline constexpr RelationId kInvalidRelationId = ~0u;
+
+}  // namespace phoebe
+
+#endif  // PHOEBE_COMMON_CONSTANTS_H_

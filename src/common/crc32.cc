@@ -1,0 +1,77 @@
+#include "common/crc32.h"
+
+#include <cstring>
+
+namespace phoebe {
+
+namespace {
+
+// CRC-32C polynomial (Castagnoli), reflected: 0x82F63B78.
+constexpr uint32_t kPoly = 0x82F63B78u;
+
+struct Crc32Table {
+  uint32_t t[256];
+  constexpr Crc32Table() : t{} {
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t crc = i;
+      for (int k = 0; k < 8; ++k) {
+        crc = (crc & 1) ? (crc >> 1) ^ kPoly : crc >> 1;
+      }
+      t[i] = crc;
+    }
+  }
+};
+
+constexpr Crc32Table kTable{};
+
+uint32_t Crc32cSoftware(const void* data, size_t n, uint32_t crc) {
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+  for (size_t i = 0; i < n; ++i) {
+    crc = kTable.t[(crc ^ p[i]) & 0xff] ^ (crc >> 8);
+  }
+  return crc;
+}
+
+#if defined(__x86_64__) || defined(_M_X64)
+
+__attribute__((target("sse4.2"))) uint32_t Crc32cHardware(const void* data,
+                                                          size_t n,
+                                                          uint32_t crc) {
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+  uint64_t crc64 = crc;
+  while (n >= 8) {
+    uint64_t chunk;
+    memcpy(&chunk, p, 8);
+    crc64 = __builtin_ia32_crc32di(crc64, chunk);
+    p += 8;
+    n -= 8;
+  }
+  crc = static_cast<uint32_t>(crc64);
+  while (n > 0) {
+    crc = __builtin_ia32_crc32qi(crc, *p);
+    ++p;
+    --n;
+  }
+  return crc;
+}
+
+bool HaveSse42() {
+  static const bool have = __builtin_cpu_supports("sse4.2");
+  return have;
+}
+
+#endif  // x86_64
+
+}  // namespace
+
+uint32_t Crc32c(const void* data, size_t n, uint32_t init) {
+  uint32_t crc = ~init;
+#if defined(__x86_64__) || defined(_M_X64)
+  if (HaveSse42()) {
+    return ~Crc32cHardware(data, n, crc);
+  }
+#endif
+  return ~Crc32cSoftware(data, n, crc);
+}
+
+}  // namespace phoebe

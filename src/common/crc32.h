@@ -1,0 +1,25 @@
+#ifndef PHOEBE_COMMON_CRC32_H_
+#define PHOEBE_COMMON_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace phoebe {
+
+/// CRC-32C (Castagnoli) used to checksum WAL records and frozen blocks.
+/// Software slice-by-one implementation (portable, table-driven).
+uint32_t Crc32c(const void* data, size_t n, uint32_t init = 0);
+
+/// Masked CRC in the LevelDB style so that a CRC of data that happens to
+/// contain CRCs does not degenerate.
+inline uint32_t MaskCrc(uint32_t crc) {
+  return ((crc >> 15) | (crc << 17)) + 0xa282ead8u;
+}
+inline uint32_t UnmaskCrc(uint32_t masked) {
+  uint32_t rot = masked - 0xa282ead8u;
+  return ((rot >> 17) | (rot << 15));
+}
+
+}  // namespace phoebe
+
+#endif  // PHOEBE_COMMON_CRC32_H_

@@ -1,0 +1,171 @@
+#ifndef PHOEBE_COMMON_LATCH_H_
+#define PHOEBE_COMMON_LATCH_H_
+
+#include <atomic>
+#include <cstdint>
+
+#if defined(__x86_64__) || defined(_M_X64)
+#include <immintrin.h>
+#endif
+
+namespace phoebe {
+
+inline void CpuRelax() {
+#if defined(__x86_64__) || defined(_M_X64)
+  _mm_pause();
+#else
+  std::atomic_signal_fence(std::memory_order_seq_cst);
+#endif
+}
+
+/// Hybrid latch supporting the three locking modes of PhoebeDB's hybrid lock
+/// strategy (Section 7.2): optimistic (version-validated lock-free reads used
+/// during B-Tree traversal), shared, and exclusive (used for tuple read/write
+/// on leaf nodes).
+///
+/// Word layout: [ version : 56 bits | state : 8 bits ]
+///   state == 0          unlocked
+///   state == 0xFF       exclusively locked
+///   state in [1, 0xFE]  shared-locked by `state` holders
+/// The version increments only on exclusive unlock, so an optimistic read is
+/// valid iff the version is unchanged and the latch is not exclusively held.
+class HybridLatch {
+ public:
+  static constexpr uint64_t kStateMask = 0xFF;
+  static constexpr uint64_t kExclusive = 0xFF;
+  static constexpr uint64_t kMaxShared = 0xFE;
+  static constexpr uint64_t kVersionShift = 8;
+
+  HybridLatch() : word_(0) {}
+  HybridLatch(const HybridLatch&) = delete;
+  HybridLatch& operator=(const HybridLatch&) = delete;
+
+  /// --- Optimistic mode -----------------------------------------------------
+
+  /// Begins an optimistic read. Sets *version and returns true when the latch
+  /// is not exclusively held; returns false (caller should retry/yield) when
+  /// a writer holds it.
+  bool TryOptimisticLatch(uint64_t* version) const {
+    uint64_t w = word_.load(std::memory_order_acquire);
+    if ((w & kStateMask) == kExclusive) return false;
+    *version = w >> kVersionShift;
+    return true;
+  }
+
+  /// Validates a previously acquired optimistic version. True iff no writer
+  /// modified the protected data since TryOptimisticLatch.
+  bool ValidateOptimistic(uint64_t version) const {
+    std::atomic_thread_fence(std::memory_order_acquire);
+    uint64_t w = word_.load(std::memory_order_acquire);
+    return (w & kStateMask) != kExclusive && (w >> kVersionShift) == version;
+  }
+
+  /// --- Pessimistic modes ---------------------------------------------------
+
+  bool TryLockExclusive() {
+    uint64_t w = word_.load(std::memory_order_acquire);
+    if ((w & kStateMask) != 0) return false;
+    return word_.compare_exchange_weak(w, w | kExclusive,
+                                       std::memory_order_acquire);
+  }
+
+  /// Atomically upgrades an optimistic read to an exclusive lock. Fails if
+  /// the version changed or the latch is held in any mode.
+  bool TryUpgradeToExclusive(uint64_t version) {
+    uint64_t expected = version << kVersionShift;  // state == 0
+    return word_.compare_exchange_strong(expected, expected | kExclusive,
+                                         std::memory_order_acquire);
+  }
+
+  void UnlockExclusive() {
+    uint64_t w = word_.load(std::memory_order_relaxed);
+    uint64_t version = (w >> kVersionShift) + 1;
+    word_.store(version << kVersionShift, std::memory_order_release);
+  }
+
+  bool TryLockShared() {
+    uint64_t w = word_.load(std::memory_order_acquire);
+    uint64_t state = w & kStateMask;
+    if (state == kExclusive || state >= kMaxShared) return false;
+    return word_.compare_exchange_weak(w, w + 1, std::memory_order_acquire);
+  }
+
+  void UnlockShared() {
+    word_.fetch_sub(1, std::memory_order_release);
+  }
+
+  /// Spin helpers with bounded budgets; callers yield to the scheduler when
+  /// the budget is exhausted (high-urgency yield in the paper's terms).
+  bool SpinLockExclusive(int budget = 512) {
+    for (int i = 0; i < budget; ++i) {
+      if (TryLockExclusive()) return true;
+      CpuRelax();
+    }
+    return false;
+  }
+
+  bool SpinLockShared(int budget = 512) {
+    for (int i = 0; i < budget; ++i) {
+      if (TryLockShared()) return true;
+      CpuRelax();
+    }
+    return false;
+  }
+
+  bool IsExclusiveLocked() const {
+    return (word_.load(std::memory_order_acquire) & kStateMask) == kExclusive;
+  }
+
+  uint64_t RawWord() const { return word_.load(std::memory_order_acquire); }
+
+ private:
+  std::atomic<uint64_t> word_;
+};
+
+/// RAII exclusive guard over a HybridLatch that spins until acquired. Only
+/// for non-coroutine contexts (tests, loader, recovery) where blocking the
+/// OS thread is acceptable.
+class ExclusiveGuard {
+ public:
+  explicit ExclusiveGuard(HybridLatch* latch) : latch_(latch) {
+    while (!latch_->TryLockExclusive()) CpuRelax();
+  }
+  ~ExclusiveGuard() {
+    if (latch_ != nullptr) latch_->UnlockExclusive();
+  }
+  ExclusiveGuard(const ExclusiveGuard&) = delete;
+  ExclusiveGuard& operator=(const ExclusiveGuard&) = delete;
+
+  void Release() {
+    latch_->UnlockExclusive();
+    latch_ = nullptr;
+  }
+
+ private:
+  HybridLatch* latch_;
+};
+
+/// RAII shared guard (blocking).
+class SharedGuard {
+ public:
+  explicit SharedGuard(HybridLatch* latch) : latch_(latch) {
+    while (!latch_->TryLockShared()) CpuRelax();
+  }
+  ~SharedGuard() {
+    if (latch_ != nullptr) latch_->UnlockShared();
+  }
+  SharedGuard(const SharedGuard&) = delete;
+  SharedGuard& operator=(const SharedGuard&) = delete;
+
+  void Release() {
+    latch_->UnlockShared();
+    latch_ = nullptr;
+  }
+
+ private:
+  HybridLatch* latch_;
+};
+
+}  // namespace phoebe
+
+#endif  // PHOEBE_COMMON_LATCH_H_

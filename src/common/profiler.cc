@@ -1,0 +1,56 @@
+#include "common/profiler.h"
+
+#include <mutex>
+#include <vector>
+
+namespace phoebe {
+
+std::atomic<bool> Profiler::enabled_{false};
+
+namespace {
+
+std::mutex g_registry_mu;
+std::vector<Profiler::ThreadCounters*>& Registry() {
+  static std::vector<Profiler::ThreadCounters*>* r =
+      new std::vector<Profiler::ThreadCounters*>();
+  return *r;
+}
+
+struct RegisteredCounters {
+  Profiler::ThreadCounters counters;
+  RegisteredCounters() {
+    std::lock_guard<std::mutex> lk(g_registry_mu);
+    Registry().push_back(&counters);
+  }
+  // Intentionally never unregisters: worker threads live for the process
+  // lifetime and the registry must survive thread exit for Aggregate().
+};
+
+}  // namespace
+
+Profiler::ThreadCounters& Profiler::Local() {
+  static thread_local RegisteredCounters* tls = new RegisteredCounters();
+  return tls->counters;
+}
+
+Profiler::ThreadCounters Profiler::Aggregate() {
+  ThreadCounters out;
+  std::lock_guard<std::mutex> lk(g_registry_mu);
+  for (const auto* tc : Registry()) {
+    for (int i = 0; i < kN; ++i) out.cycles[i] += tc->cycles[i];
+    out.total_cycles += tc->total_cycles;
+    out.txn_count += tc->txn_count;
+  }
+  return out;
+}
+
+void Profiler::Reset() {
+  std::lock_guard<std::mutex> lk(g_registry_mu);
+  for (auto* tc : Registry()) {
+    tc->cycles.fill(0);
+    tc->total_cycles = 0;
+    tc->txn_count = 0;
+  }
+}
+
+}  // namespace phoebe

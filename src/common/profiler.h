@@ -1,0 +1,107 @@
+#ifndef PHOEBE_COMMON_PROFILER_H_
+#define PHOEBE_COMMON_PROFILER_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "common/clock.h"
+
+namespace phoebe {
+
+/// Cost components tracked for the Exp 7 instruction/cycle breakdown
+/// (Figure 12 in the paper). "Effective computation" is everything that is
+/// not attributed to one of the explicit components.
+enum class Component : uint8_t {
+  kWal = 0,
+  kMvcc = 1,
+  kLatching = 2,
+  kBufferManager = 3,
+  kGc = 4,
+  kLocking = 5,
+  kNumComponents = 6,
+};
+
+inline const char* ComponentName(Component c) {
+  switch (c) {
+    case Component::kWal: return "WAL";
+    case Component::kMvcc: return "MVCC";
+    case Component::kLatching: return "Latching";
+    case Component::kBufferManager: return "BufferManager";
+    case Component::kGc: return "GC";
+    case Component::kLocking: return "Locking";
+    default: return "?";
+  }
+}
+
+/// Per-thread cycle accumulator. Collection is enabled globally; when off,
+/// scopes compile down to two branches.
+class Profiler {
+ public:
+  static constexpr int kN = static_cast<int>(Component::kNumComponents);
+
+  static void Enable(bool on) {
+    enabled_.store(on, std::memory_order_relaxed);
+  }
+  static bool enabled() { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Thread-local accumulators; merged on demand.
+  struct ThreadCounters {
+    std::array<uint64_t, kN> cycles{};
+    uint64_t total_cycles = 0;
+    uint64_t txn_count = 0;
+  };
+
+  static ThreadCounters& Local();
+
+  /// Sums counters across all threads that ever touched the profiler.
+  static ThreadCounters Aggregate();
+
+  /// Clears all registered thread counters.
+  static void Reset();
+
+ private:
+  static std::atomic<bool> enabled_;
+};
+
+/// Scoped timer attributing elapsed cycles to a component.
+class ComponentScope {
+ public:
+  explicit ComponentScope(Component c) : c_(c) {
+    if (Profiler::enabled()) start_ = ReadCycles();
+  }
+  ~ComponentScope() {
+    if (start_ != 0) {
+      Profiler::Local().cycles[static_cast<int>(c_)] += ReadCycles() - start_;
+    }
+  }
+  ComponentScope(const ComponentScope&) = delete;
+  ComponentScope& operator=(const ComponentScope&) = delete;
+
+ private:
+  Component c_;
+  uint64_t start_ = 0;
+};
+
+/// Scoped timer for a whole transaction (total cycles + txn count).
+class TxnScope {
+ public:
+  TxnScope() {
+    if (Profiler::enabled()) start_ = ReadCycles();
+  }
+  ~TxnScope() {
+    if (start_ != 0) {
+      auto& local = Profiler::Local();
+      local.total_cycles += ReadCycles() - start_;
+      local.txn_count += 1;
+    }
+  }
+
+ private:
+  uint64_t start_ = 0;
+};
+
+}  // namespace phoebe
+
+#endif  // PHOEBE_COMMON_PROFILER_H_

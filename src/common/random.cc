@@ -1,0 +1,17 @@
+#include "common/random.h"
+
+#include <cmath>
+
+namespace phoebe {
+
+double Zipfian::Pow(double base, double exp) { return std::pow(base, exp); }
+
+double Zipfian::Zeta(uint64_t n, double theta) {
+  double sum = 0;
+  for (uint64_t i = 1; i <= n; ++i) {
+    sum += 1.0 / std::pow(static_cast<double>(i), theta);
+  }
+  return sum;
+}
+
+}  // namespace phoebe

@@ -1,0 +1,97 @@
+#ifndef PHOEBE_COMMON_RANDOM_H_
+#define PHOEBE_COMMON_RANDOM_H_
+
+#include <cstdint>
+
+namespace phoebe {
+
+/// Fast xorshift128+ pseudo-random generator. Not cryptographic; used for
+/// workload generation, eviction sampling, and tests.
+class Random {
+ public:
+  explicit Random(uint64_t seed = 0x9E3779B97F4A7C15ull) {
+    s0_ = seed | 1;
+    s1_ = SplitMix(seed + 0x9E3779B97F4A7C15ull);
+    // Warm up.
+    for (int i = 0; i < 4; ++i) Next();
+  }
+
+  uint64_t Next() {
+    uint64_t x = s0_;
+    const uint64_t y = s1_;
+    s0_ = y;
+    x ^= x << 23;
+    s1_ = x ^ y ^ (x >> 17) ^ (y >> 26);
+    return s1_ + y;
+  }
+
+  /// Uniform in [0, n). n must be > 0.
+  uint64_t Uniform(uint64_t n) { return Next() % n; }
+
+  /// Uniform in [lo, hi] inclusive (TPC-C style).
+  int64_t UniformRange(int64_t lo, int64_t hi) {
+    return lo + static_cast<int64_t>(Uniform(static_cast<uint64_t>(hi - lo + 1)));
+  }
+
+  /// True with probability 1/n.
+  bool OneIn(uint64_t n) { return Uniform(n) == 0; }
+
+  /// TPC-C NURand non-uniform random (clause 2.1.6).
+  int64_t NURand(int64_t a, int64_t x, int64_t y, int64_t c) {
+    return (((UniformRange(0, a) | UniformRange(x, y)) + c) % (y - x + 1)) + x;
+  }
+
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * (1.0 / (1ull << 53));
+  }
+
+ private:
+  static uint64_t SplitMix(uint64_t z) {
+    z += 0x9E3779B97F4A7C15ull;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+  }
+
+  uint64_t s0_;
+  uint64_t s1_;
+};
+
+/// Zipfian distribution generator (for skewed access experiments).
+class Zipfian {
+ public:
+  Zipfian(uint64_t n, double theta, uint64_t seed = 12345)
+      : n_(n), theta_(theta), rng_(seed) {
+    zeta_n_ = Zeta(n, theta);
+    zeta2_ = Zeta(2, theta);
+    alpha_ = 1.0 / (1.0 - theta);
+    eta_ = (1.0 - Pow(2.0 / static_cast<double>(n), 1.0 - theta)) /
+           (1.0 - zeta2_ / zeta_n_);
+  }
+
+  /// Returns a value in [0, n).
+  uint64_t Next() {
+    double u = rng_.NextDouble();
+    double uz = u * zeta_n_;
+    if (uz < 1.0) return 0;
+    if (uz < 1.0 + Pow(0.5, theta_)) return 1;
+    return static_cast<uint64_t>(
+        static_cast<double>(n_) * Pow(eta_ * u - eta_ + 1.0, alpha_));
+  }
+
+ private:
+  static double Pow(double base, double exp);
+  static double Zeta(uint64_t n, double theta);
+
+  uint64_t n_;
+  double theta_;
+  double zeta_n_;
+  double zeta2_;
+  double alpha_;
+  double eta_;
+  Random rng_;
+};
+
+}  // namespace phoebe
+
+#endif  // PHOEBE_COMMON_RANDOM_H_

@@ -1,0 +1,40 @@
+#include "common/status.h"
+
+namespace phoebe {
+
+namespace {
+const char* CodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk: return "OK";
+    case StatusCode::kNotFound: return "NotFound";
+    case StatusCode::kCorruption: return "Corruption";
+    case StatusCode::kInvalidArgument: return "InvalidArgument";
+    case StatusCode::kIOError: return "IOError";
+    case StatusCode::kBlocked: return "Blocked";
+    case StatusCode::kAborted: return "Aborted";
+    case StatusCode::kAlreadyExists: return "AlreadyExists";
+    case StatusCode::kNotSupported: return "NotSupported";
+    case StatusCode::kBufferFull: return "BufferFull";
+    case StatusCode::kKeyExists: return "KeyExists";
+  }
+  return "Unknown";
+}
+}  // namespace
+
+std::string Status::ToString() const {
+  std::string out = CodeName(code_);
+  if (!msg_.empty()) {
+    out += ": ";
+    out += msg_;
+  }
+  if (code_ == StatusCode::kBlocked) {
+    out += " (wait_kind=";
+    out += std::to_string(static_cast<int>(wait_kind_));
+    out += ", xid=";
+    out += std::to_string(wait_xid_);
+    out += ")";
+  }
+  return out;
+}
+
+}  // namespace phoebe

@@ -1,0 +1,138 @@
+#include "core/catalog.h"
+
+#include <cstdio>
+
+#include "common/coding.h"
+#include "common/crc32.h"
+
+namespace phoebe {
+
+namespace {
+constexpr uint32_t kCatalogMagic = 0xCA7A106Fu;
+std::string CatalogPath(const std::string& dir) { return dir + "/CATALOG"; }
+}  // namespace
+
+Status Catalog::Save(Env* env, const std::string& dir,
+                     const CatalogData& data) {
+  std::string out;
+  PutFixed32(&out, kCatalogMagic);
+  out.push_back(data.clean ? 1 : 0);
+  PutVarint32(&out, data.next_relation_id);
+  PutVarint32(&out, static_cast<uint32_t>(data.tables.size()));
+  for (const auto& t : data.tables) {
+    PutLengthPrefixedSlice(&out, t.name);
+    PutVarint32(&out, t.id);
+    PutLengthPrefixedSlice(&out, t.schema.Serialize());
+    PutVarint64(&out, t.next_row_id);
+    PutVarint64(&out, t.root + 1);  // 0 encodes kInvalidPageId
+    PutVarint64(&out, t.max_frozen_row_id);
+    PutVarint64(&out, t.frozen_manifest_len);
+    PutVarint64(&out, t.frozen_blocks_len);
+  }
+  PutVarint32(&out, static_cast<uint32_t>(data.indexes.size()));
+  for (const auto& i : data.indexes) {
+    PutLengthPrefixedSlice(&out, i.name);
+    PutVarint32(&out, i.id);
+    PutVarint32(&out, i.table_id);
+    out.push_back(i.unique ? 1 : 0);
+    PutVarint32(&out, static_cast<uint32_t>(i.key_columns.size()));
+    for (uint32_t c : i.key_columns) PutVarint32(&out, c);
+    PutVarint64(&out, i.root + 1);
+  }
+  PutFixed32(&out, MaskCrc(Crc32c(out.data(), out.size())));
+
+  const std::string tmp = CatalogPath(dir) + ".tmp";
+  {
+    std::unique_ptr<File> f;
+    Env::OpenOptions fo;
+    fo.truncate = true;
+    PHOEBE_RETURN_IF_ERROR(env->OpenFile(tmp, fo, &f));
+    PHOEBE_RETURN_IF_ERROR(f->Write(0, out));
+    PHOEBE_RETURN_IF_ERROR(f->Sync());
+  }
+  if (::rename(tmp.c_str(), CatalogPath(dir).c_str()) != 0) {
+    return Status::IOError("rename catalog");
+  }
+  return Status::OK();
+}
+
+Result<CatalogData> Catalog::Load(Env* env, const std::string& dir) {
+  using R = Result<CatalogData>;
+  const std::string path = CatalogPath(dir);
+  if (!env->FileExists(path)) return R(Status::NotFound("no catalog"));
+  std::unique_ptr<File> f;
+  Env::OpenOptions fo;
+  fo.create = false;
+  fo.read_only = true;
+  PHOEBE_RETURN_IF_ERROR(env->OpenFile(path, fo, &f));
+  uint64_t size = f->Size();
+  if (size < 12) return R(Status::Corruption("catalog too small"));
+  std::string buf(size, '\0');
+  size_t got = 0;
+  PHOEBE_RETURN_IF_ERROR(f->Read(0, size, buf.data(), &got));
+  if (got != size) return R(Status::Corruption("catalog short read"));
+  uint32_t stored = DecodeFixed32(buf.data() + size - 4);
+  if (MaskCrc(Crc32c(buf.data(), size - 4)) != stored) {
+    return R(Status::Corruption("catalog crc"));
+  }
+  Slice in(buf.data(), size - 4);
+  if (DecodeFixed32(in.data()) != kCatalogMagic) {
+    return R(Status::Corruption("catalog magic"));
+  }
+  in.remove_prefix(4);
+  CatalogData data;
+  data.clean = in[0] != 0;
+  in.remove_prefix(1);
+  uint32_t ntables = 0, nindexes = 0;
+  if (!GetVarint32(&in, &data.next_relation_id) ||
+      !GetVarint32(&in, &ntables)) {
+    return R(Status::Corruption("catalog header"));
+  }
+  for (uint32_t i = 0; i < ntables; ++i) {
+    CatalogData::TableEntry t;
+    Slice name, schema_bytes;
+    uint64_t root1 = 0;
+    if (!GetLengthPrefixedSlice(&in, &name) || !GetVarint32(&in, &t.id) ||
+        !GetLengthPrefixedSlice(&in, &schema_bytes) ||
+        !GetVarint64(&in, &t.next_row_id) || !GetVarint64(&in, &root1) ||
+        !GetVarint64(&in, &t.max_frozen_row_id) ||
+        !GetVarint64(&in, &t.frozen_manifest_len) ||
+        !GetVarint64(&in, &t.frozen_blocks_len)) {
+      return R(Status::Corruption("catalog table"));
+    }
+    t.name = name.ToString();
+    Result<Schema> schema = Schema::Deserialize(schema_bytes);
+    if (!schema.ok()) return R(schema.status());
+    t.schema = std::move(schema.value());
+    t.root = root1 - 1;
+    data.tables.push_back(std::move(t));
+  }
+  if (!GetVarint32(&in, &nindexes)) {
+    return R(Status::Corruption("catalog indexes"));
+  }
+  for (uint32_t i = 0; i < nindexes; ++i) {
+    CatalogData::IndexEntry e;
+    Slice name;
+    uint32_t ncols = 0;
+    uint64_t root1 = 0;
+    if (!GetLengthPrefixedSlice(&in, &name) || !GetVarint32(&in, &e.id) ||
+        !GetVarint32(&in, &e.table_id) || in.size() < 1) {
+      return R(Status::Corruption("catalog index"));
+    }
+    e.name = name.ToString();
+    e.unique = in[0] != 0;
+    in.remove_prefix(1);
+    if (!GetVarint32(&in, &ncols)) return R(Status::Corruption("index cols"));
+    for (uint32_t c = 0; c < ncols; ++c) {
+      uint32_t col = 0;
+      if (!GetVarint32(&in, &col)) return R(Status::Corruption("index col"));
+      e.key_columns.push_back(col);
+    }
+    if (!GetVarint64(&in, &root1)) return R(Status::Corruption("index root"));
+    e.root = root1 - 1;
+    data.indexes.push_back(std::move(e));
+  }
+  return R(std::move(data));
+}
+
+}  // namespace phoebe

@@ -1,0 +1,56 @@
+#ifndef PHOEBE_CORE_CATALOG_H_
+#define PHOEBE_CORE_CATALOG_H_
+
+#include <string>
+#include <vector>
+
+#include "common/constants.h"
+#include "common/status.h"
+#include "io/env.h"
+#include "storage/schema.h"
+
+namespace phoebe {
+
+/// Durable catalog: table/index definitions plus the checkpoint image
+/// descriptors. Rewritten atomically (temp + rename) on DDL and checkpoint.
+///
+/// `clean == true` means the roots/lengths describe a quiescent checkpoint
+/// whose WAL was truncated at the same instant — reopen loads the roots and
+/// replays whatever WAL accumulated afterwards on top.
+struct CatalogData {
+  struct TableEntry {
+    std::string name;
+    RelationId id = 0;
+    Schema schema;
+    RowId next_row_id = 1;
+    PageId root = kInvalidPageId;       // valid only from a checkpoint
+    RowId max_frozen_row_id = 0;        // checkpoint-consistent
+    uint64_t frozen_manifest_len = 0;   // bytes valid at checkpoint
+    uint64_t frozen_blocks_len = 0;
+  };
+  struct IndexEntry {
+    std::string name;
+    RelationId id = 0;
+    RelationId table_id = 0;
+    std::vector<uint32_t> key_columns;
+    bool unique = true;
+    PageId root = kInvalidPageId;
+  };
+
+  bool clean = false;
+  RelationId next_relation_id = 1;
+  std::vector<TableEntry> tables;
+  std::vector<IndexEntry> indexes;
+};
+
+class Catalog {
+ public:
+  static Status Save(Env* env, const std::string& dir,
+                     const CatalogData& data);
+  /// kNotFound when no catalog exists yet (fresh database).
+  static Result<CatalogData> Load(Env* env, const std::string& dir);
+};
+
+}  // namespace phoebe
+
+#endif  // PHOEBE_CORE_CATALOG_H_

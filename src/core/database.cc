@@ -1,0 +1,567 @@
+#include "core/database.h"
+
+#include <algorithm>
+
+#include "common/profiler.h"
+#include "wal/recovery.h"
+
+namespace phoebe {
+
+Database::Database(const DatabaseOptions& options)
+    : options_(options), env_(Env::Default()) {
+  if (options_.wal_dir.empty()) options_.wal_dir = options_.path + "/wal";
+}
+
+Result<std::unique_ptr<Database>> Database::Open(
+    const DatabaseOptions& options) {
+  std::unique_ptr<Database> db(new Database(options));
+  Status st = db->Init();
+  if (!st.ok()) return Result<std::unique_ptr<Database>>(st);
+  st = db->LoadCatalogAndRecover();
+  if (!st.ok()) return Result<std::unique_ptr<Database>>(st);
+  return Result<std::unique_ptr<Database>>(std::move(db));
+}
+
+Database::~Database() {
+  // Best-effort clean shutdown; skip when initialization never completed
+  // (e.g. the directory lock was held by another instance).
+  if (!closed_ && txn_mgr_ != nullptr && wal_ != nullptr) {
+    (void)Close();
+  } else if (lock_handle_ >= 0) {
+    env_->UnlockFile(lock_handle_);
+    lock_handle_ = -1;
+  }
+}
+
+Status Database::Init() {
+  PHOEBE_RETURN_IF_ERROR(env_->CreateDir(options_.path));
+  PHOEBE_RETURN_IF_ERROR(env_->CreateDir(options_.wal_dir));
+
+  // One Database instance per directory (advisory lock, released on Close
+  // or process exit).
+  Result<int> lock = env_->LockFile(options_.path + "/LOCK");
+  if (!lock.ok()) return lock.status();
+  lock_handle_ = lock.value();
+
+  throttle_ = std::make_unique<BandwidthThrottle>(options_.io_bandwidth_limit);
+
+  auto data_file =
+      PageFile::Open(env_, options_.path + "/data.pages", options_.direct_io);
+  if (!data_file.ok()) return data_file.status();
+  data_file_ = std::move(data_file.value());
+  if (options_.io_bandwidth_limit > 0) {
+    data_file_->set_throttle(throttle_.get());
+  }
+
+  BufferPool::Options pool_opts;
+  pool_opts.buffer_bytes = options_.buffer_bytes;
+  pool_opts.partitions = options_.workers;
+  pool_opts.io_threads = options_.io_threads;
+  pool_ = std::make_unique<BufferPool>(pool_opts, data_file_.get());
+  registry_ = std::make_unique<BTreeRegistry>(pool_.get());
+
+  txn_mgr_ = std::make_unique<TxnManager>(options_.total_slots(), &clock_);
+  held_locks_.resize(options_.total_slots());
+
+  WalManager::Options wal_opts;
+  wal_opts.dir = options_.wal_dir;
+  wal_opts.num_writers =
+      options_.baseline_single_wal_writer ? 1 : options_.total_slots();
+  wal_opts.flusher_threads = options_.wal_flushers;
+  wal_opts.sync_on_flush = options_.wal_sync;
+  wal_opts.enable_rfa =
+      options_.enable_rfa && !options_.baseline_single_wal_writer;
+  wal_opts.flush_interval_us = options_.wal_flush_interval_us;
+  auto wal = WalManager::Open(env_, wal_opts);
+  if (!wal.ok()) return wal.status();
+  wal_ = std::move(wal.value());
+
+  lock_table_ = std::make_unique<GlobalLockTable>();
+  pg_snapshots_ = std::make_unique<PgSnapshotManager>(txn_mgr_.get());
+
+  deps_.options = &options_;
+  deps_.env = env_;
+  deps_.dir = options_.path;
+  deps_.pool = pool_.get();
+  deps_.registry = registry_.get();
+  deps_.clock = &clock_;
+  deps_.txn_mgr = txn_mgr_.get();
+  deps_.wal = wal_.get();
+  deps_.lock_table = lock_table_.get();
+  deps_.held_locks = &held_locks_;
+
+  // GC reclaim hook: purge deleted tuples / stale index entries.
+  txn_mgr_->set_reclaim_hook([this](const UndoRecord& rec) {
+    Table* table = TableById(rec.relation);
+    if (table != nullptr) {
+      OpContext ctx;
+      ctx.synchronous = true;
+      ctx.count_accesses = false;
+      table->OnUndoReclaimed(&ctx, rec);
+    }
+  });
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// Catalog & recovery
+// ---------------------------------------------------------------------------
+
+Status Database::PersistCatalog(bool clean) {
+  CatalogData data;
+  data.clean = clean;
+  data.next_relation_id = next_relation_id_;
+  for (const auto& t : tables_) {
+    CatalogData::TableEntry e;
+    e.name = t->name();
+    e.id = t->id();
+    e.schema = t->schema();
+    e.next_row_id = t->next_row_id();
+    e.root = kInvalidPageId;  // filled by CheckpointNow
+    data.tables.push_back(std::move(e));
+    for (size_t i = 0; i < t->num_indexes(); ++i) {
+      const IndexDef& idx = t->index(i);
+      CatalogData::IndexEntry ie;
+      ie.name = idx.name;
+      ie.id = idx.id;
+      ie.table_id = t->id();
+      ie.key_columns = idx.key_columns;
+      ie.unique = idx.unique;
+      ie.root = kInvalidPageId;
+      data.indexes.push_back(std::move(ie));
+    }
+  }
+  return Catalog::Save(env_, options_.path, data);
+}
+
+Status Database::LoadCatalogAndRecover() {
+  Result<CatalogData> loaded = Catalog::Load(env_, options_.path);
+  if (loaded.status().IsNotFound()) {
+    return Status::OK();  // fresh database
+  }
+  if (!loaded.ok()) return loaded.status();
+  const CatalogData& cat = loaded.value();
+  next_relation_id_ = cat.next_relation_id;
+
+  for (const auto& te : cat.tables) {
+    auto table =
+        std::make_unique<Table>(&deps_, te.name, te.id, te.schema);
+    if (cat.clean && te.root != kInvalidPageId) {
+      // Roll the frozen store back to its checkpoint-consistent state.
+      // (Manifest/block bytes appended after the checkpoint belong to a
+      // crashed epoch whose rows are still present in the tree image.)
+      std::unique_ptr<File> mf;
+      Env::OpenOptions fo;
+      std::string mpath = options_.path + "/" + te.name + ".manifest";
+      if (env_->FileExists(mpath)) {
+        PHOEBE_RETURN_IF_ERROR(env_->OpenFile(mpath, fo, &mf));
+        if (mf->Size() > te.frozen_manifest_len) {
+          PHOEBE_RETURN_IF_ERROR(mf->Truncate(te.frozen_manifest_len));
+        }
+        mf.reset();
+      }
+      std::string bpath = options_.path + "/" + te.name + ".blocks";
+      if (env_->FileExists(bpath)) {
+        std::unique_ptr<File> bf;
+        PHOEBE_RETURN_IF_ERROR(env_->OpenFile(bpath, fo, &bf));
+        if (bf->Size() > te.frozen_blocks_len) {
+          PHOEBE_RETURN_IF_ERROR(bf->Truncate(te.frozen_blocks_len));
+        }
+      }
+      PHOEBE_RETURN_IF_ERROR(
+          table->OpenFromCheckpoint(te.root, te.next_row_id));
+    } else {
+      // No usable checkpoint image: wipe per-table frozen state and rebuild
+      // the tree from WAL history.
+      PHOEBE_RETURN_IF_ERROR(
+          FrozenStore::Destroy(env_, options_.path, te.name));
+      PHOEBE_RETURN_IF_ERROR(table->Create());
+    }
+    Table* raw = table.get();
+    tables_.push_back(std::move(table));
+    tables_by_name_[raw->name()] = raw;
+    tables_by_id_[raw->id()] = raw;
+  }
+  for (const auto& ie : cat.indexes) {
+    Table* table = TableById(ie.table_id);
+    if (table == nullptr) return Status::Corruption("index without table");
+    PageId root = cat.clean ? ie.root : kInvalidPageId;
+    PHOEBE_RETURN_IF_ERROR(table->AddIndex(ie.name, ie.id, ie.key_columns,
+                                           ie.unique, root));
+  }
+  return RunRecovery();
+}
+
+Status Database::RunRecovery() {
+  Result<WalRecovery::ScanResult> scan =
+      WalRecovery::Scan(env_, options_.wal_dir);
+  if (!scan.ok()) return scan.status();
+  const auto& result = scan.value();
+  clock_.AdvanceTo(result.max_ts + 1);
+  if (result.records.empty()) return Status::OK();
+
+  recovery_info_.ran = true;
+  recovery_info_.committed_txns = result.commits.size();
+  recovery_info_.skipped_uncommitted = result.skipped_uncommitted;
+
+  OpContext ctx;
+  ctx.synchronous = true;
+  ctx.count_accesses = false;
+
+  Status st = WalRecovery::Replay(
+      result, [&](const WalRecord& rec, Timestamp) -> Status {
+        RelationId rel = 0;
+        RowId rid = 0;
+        Slice body;
+        PHOEBE_RETURN_IF_ERROR(
+            WalRecordCodec::ParseDataPayload(rec.payload, &rel, &rid, &body));
+        Table* table = TableById(rel);
+        if (table == nullptr) return Status::OK();  // dropped relation
+        recovery_info_.records_replayed += 1;
+        switch (rec.type) {
+          case WalRecordType::kInsert:
+            return table->ReplayInsert(&ctx, rid, body);
+          case WalRecordType::kUpdate:
+            return table->ReplayUpdate(&ctx, rid, body);
+          case WalRecordType::kDelete:
+            return table->ReplayDelete(&ctx, rid);
+          default:
+            return Status::OK();
+        }
+      });
+  if (!st.ok()) return st;
+
+  // Make the recovered state durable and truncate the log.
+  return CheckpointNow();
+}
+
+// ---------------------------------------------------------------------------
+// DDL
+// ---------------------------------------------------------------------------
+
+Result<Table*> Database::CreateTable(const std::string& name,
+                                     const Schema& schema) {
+  std::lock_guard<std::mutex> lk(ddl_mu_);
+  if (tables_by_name_.count(name) != 0) {
+    return Result<Table*>(Status::AlreadyExists("table " + name));
+  }
+  RelationId id = next_relation_id_++;
+  auto table = std::make_unique<Table>(&deps_, name, id, schema);
+  Status st = table->Create();
+  if (!st.ok()) return Result<Table*>(st);
+  Table* raw = table.get();
+  tables_.push_back(std::move(table));
+  tables_by_name_[name] = raw;
+  tables_by_id_[id] = raw;
+  st = PersistCatalog(/*clean=*/false);
+  if (!st.ok()) return Result<Table*>(st);
+  return Result<Table*>(raw);
+}
+
+Result<Table*> Database::GetTable(const std::string& name) {
+  std::lock_guard<std::mutex> lk(ddl_mu_);
+  auto it = tables_by_name_.find(name);
+  if (it == tables_by_name_.end()) {
+    return Result<Table*>(Status::NotFound("table " + name));
+  }
+  return Result<Table*>(it->second);
+}
+
+Table* Database::TableById(RelationId id) {
+  std::lock_guard<std::mutex> lk(ddl_mu_);
+  auto it = tables_by_id_.find(id);
+  return it == tables_by_id_.end() ? nullptr : it->second;
+}
+
+Status Database::CreateIndex(const std::string& table,
+                             const std::string& index_name,
+                             std::vector<uint32_t> key_columns, bool unique) {
+  Result<Table*> t = GetTable(table);
+  if (!t.ok()) return t.status();
+  std::lock_guard<std::mutex> lk(ddl_mu_);
+  RelationId id = next_relation_id_++;
+  PHOEBE_RETURN_IF_ERROR(
+      t.value()->AddIndex(index_name, id, std::move(key_columns), unique));
+  return PersistCatalog(/*clean=*/false);
+}
+
+Status Database::DropTable(const std::string& name) {
+  std::lock_guard<std::mutex> lk(ddl_mu_);
+  auto it = tables_by_name_.find(name);
+  if (it == tables_by_name_.end()) {
+    return Status::NotFound("table " + name);
+  }
+  Table* table = it->second;
+  OpContext ctx;
+  ctx.synchronous = true;
+  ctx.count_accesses = false;
+  PHOEBE_RETURN_IF_ERROR(table->DropStorage(&ctx));
+  tables_by_name_.erase(it);
+  tables_by_id_.erase(table->id());
+  for (auto t = tables_.begin(); t != tables_.end(); ++t) {
+    if (t->get() == table) {
+      tables_.erase(t);
+      break;
+    }
+  }
+  return PersistCatalog(/*clean=*/false);
+}
+
+Status Database::DropIndex(const std::string& table_name,
+                           const std::string& index_name) {
+  std::lock_guard<std::mutex> lk(ddl_mu_);
+  auto it = tables_by_name_.find(table_name);
+  if (it == tables_by_name_.end()) {
+    return Status::NotFound("table " + table_name);
+  }
+  int idx = it->second->FindIndex(index_name);
+  if (idx < 0) return Status::NotFound("index " + index_name);
+  OpContext ctx;
+  ctx.synchronous = true;
+  ctx.count_accesses = false;
+  PHOEBE_RETURN_IF_ERROR(
+      it->second->DropIndexAt(&ctx, static_cast<size_t>(idx)));
+  return PersistCatalog(/*clean=*/false);
+}
+
+// ---------------------------------------------------------------------------
+// Transactions
+// ---------------------------------------------------------------------------
+
+Transaction* Database::Begin(uint32_t slot_id, IsolationLevel iso) {
+  Transaction* txn = txn_mgr_->Begin(slot_id, iso);
+  if (options_.baseline_pg_snapshot) {
+    PgSnapshot snap = pg_snapshots_->Take();
+    txn_mgr_->SetSnapshot(txn, snap.xmax);
+  }
+  return txn;
+}
+
+void Database::StatementBegin(Transaction* txn) {
+  if (txn->isolation() != IsolationLevel::kReadCommitted) return;
+  if (options_.baseline_pg_snapshot) {
+    // Traditional snapshot-by-scan (O(active transactions)).
+    PgSnapshot snap = pg_snapshots_->Take();
+    txn_mgr_->SetSnapshot(txn, snap.xmax);
+  } else {
+    // PhoebeDB: O(1) single-timestamp snapshot.
+    txn_mgr_->RefreshStatementSnapshot(txn);
+  }
+}
+
+Status Database::Commit(OpContext* ctx, Transaction* txn) {
+  if (txn->state() != TxnState::kCommitted) {
+    Timestamp cts = txn_mgr_->PrepareCommit(txn);
+    wal_->LogCommit(txn, cts);
+  }
+  if (!wal_->CommitDurable(txn)) {
+    if (!ctx->synchronous) {
+      return Status::Blocked(WaitKind::kCommitFlush);
+    }
+    wal_->WaitCommitDurable(txn);
+  }
+  txn_mgr_->FinishTransaction(txn, /*committed=*/true);
+  if (options_.baseline_global_lock_table) {
+    auto& held = held_locks_[txn->slot_id()];
+    lock_table_->ReleaseAll(txn->xid(), held);
+    held.clear();
+  }
+  return Status::OK();
+}
+
+Status Database::Abort(OpContext* ctx, Transaction* txn) {
+  if (txn->state() == TxnState::kCommitted) {
+    // Rolling back committed records would corrupt the version chains.
+    return Status::InvalidArgument("abort after commit");
+  }
+  // Roll back newest-to-oldest via the in-memory UNDO list; runs
+  // synchronously (rollback paths never yield).
+  Status result = Status::OK();
+  UndoRecord* rec = txn->undo_head();
+  auto& arena = txn_mgr_->slot(txn->slot_id()).arena;
+  while (rec != nullptr) {
+    UndoRecord* next = rec->txn_next;
+    Table* table = TableById(rec->relation);
+    if (table != nullptr) {
+      Status st = table->RollbackRecord(ctx, txn, rec);
+      if (!st.ok() && result.ok()) result = st;
+    }
+    arena.FreeAborted(rec);
+    rec = next;
+  }
+  WalWriter& w = wal_->WriterFor(txn->slot_id());
+  w.Append(WalRecordType::kAbort, txn->xid(), w.LoadGsn(), Slice());
+  txn_mgr_->FinishTransaction(txn, /*committed=*/false);
+  if (options_.baseline_global_lock_table) {
+    auto& held = held_locks_[txn->slot_id()];
+    lock_table_->ReleaseAll(txn->xid(), held);
+    held.clear();
+  }
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// Runtime wiring & maintenance
+// ---------------------------------------------------------------------------
+
+Scheduler::Hooks Database::MakeSchedulerHooks() {
+  Scheduler::Hooks hooks;
+  hooks.page_swap = [this](uint32_t worker_id, OpContext* ctx) {
+    if (pool_->NeedsEviction(worker_id)) {
+      (void)registry_->EnsureFreeFrames(ctx, worker_id);
+    }
+  };
+  hooks.run_gc = [this](uint32_t slot_id) { txn_mgr_->RunUndoGc(slot_id); };
+  hooks.sweep = [this]() {
+    pool_->AdvanceEpoch();
+    txn_mgr_->SweepTwinTables();
+    if (options_.enable_freeze) {
+      OpContext ctx;
+      ctx.synchronous = true;
+      ctx.count_accesses = false;
+      std::lock_guard<std::mutex> lk(ddl_mu_);
+      for (auto& t : tables_) {
+        (void)t->FreezePass(&ctx, /*max_leaves=*/4);
+      }
+      // Read-warming (Section 5.2 case 3): frozen blocks whose read count
+      // crossed the threshold come back to hot storage under a maintenance
+      // transaction on the last aux slot.
+      uint32_t slot = aux_slot(options_.aux_slots - 1);
+      if (txn_mgr_->slot(slot).active_xid.load(std::memory_order_acquire) ==
+          0) {
+        Transaction* txn = Begin(slot);
+        bool warmed_any = false;
+        for (auto& t : tables_) {
+          Status st = t->WarmPass(&ctx, txn, /*max_rows=*/256);
+          if (st.ok() && txn->undo_count() > 0) warmed_any = true;
+        }
+        if (warmed_any) {
+          (void)Commit(&ctx, txn);
+        } else {
+          (void)Abort(&ctx, txn);
+        }
+      }
+    }
+  };
+  return hooks;
+}
+
+void Database::DrainGc() {
+  for (int round = 0; round < 8; ++round) {
+    for (uint32_t s = 0; s < txn_mgr_->num_slots(); ++s) {
+      txn_mgr_->RunUndoGc(s);
+    }
+    txn_mgr_->SweepTwinTables();
+    if (txn_mgr_->TotalLiveUndo() == 0) break;
+  }
+}
+
+Status Database::CheckpointNow() {
+  // Quiescence guard: a checkpoint unswizzles and flushes every page, which
+  // is only safe with no transactions in flight and no pinned twin tables.
+  for (uint32_t i = 0; i < txn_mgr_->num_slots(); ++i) {
+    if (txn_mgr_->slot(i).active_xid.load(std::memory_order_acquire) != 0) {
+      return Status::Aborted("checkpoint requires quiescence: slot " +
+                             std::to_string(i) + " has an active txn");
+    }
+  }
+  if (txn_mgr_->TotalLiveUndo() != 0) {
+    return Status::Aborted(
+        "checkpoint requires quiescence: run DrainGc() first");
+  }
+
+  OpContext ctx;
+  ctx.synchronous = true;
+  ctx.count_accesses = false;
+
+  CatalogData data;
+  data.clean = true;
+  data.next_relation_id = next_relation_id_;
+  for (auto& t : tables_) {
+    Result<PageId> root = t->Checkpoint(&ctx);
+    if (!root.ok()) return root.status();
+    CatalogData::TableEntry e;
+    e.name = t->name();
+    e.id = t->id();
+    e.schema = t->schema();
+    e.next_row_id = t->next_row_id();
+    e.root = root.value();
+    e.max_frozen_row_id = t->frozen()->max_frozen_row_id();
+    Result<uint64_t> mlen =
+        env_->FileSize(options_.path + "/" + t->name() + ".manifest");
+    Result<uint64_t> blen =
+        env_->FileSize(options_.path + "/" + t->name() + ".blocks");
+    e.frozen_manifest_len = mlen.ok() ? mlen.value() : 0;
+    e.frozen_blocks_len = blen.ok() ? blen.value() : 0;
+    for (size_t i = 0; i < t->num_indexes(); ++i) {
+      IndexDef& idx = t->index(i);
+      Result<PageId> iroot = idx.tree->Checkpoint(&ctx);
+      if (!iroot.ok()) return iroot.status();
+      CatalogData::IndexEntry ie;
+      ie.name = idx.name;
+      ie.id = idx.id;
+      ie.table_id = t->id();
+      ie.key_columns = idx.key_columns;
+      ie.unique = idx.unique;
+      ie.root = iroot.value();
+      data.indexes.push_back(std::move(ie));
+    }
+    data.tables.push_back(std::move(e));
+  }
+  PHOEBE_RETURN_IF_ERROR(Catalog::Save(env_, options_.path, data));
+  return wal_->TruncateAll();
+}
+
+Database::Stats Database::GetStats() const {
+  Stats s;
+  s.buffer_frames_total =
+      pool_->frames_per_partition() * pool_->partitions();
+  for (uint32_t p = 0; p < pool_->partitions(); ++p) {
+    s.buffer_frames_free += pool_->FreeFrames(p);
+  }
+  s.buffer_evictions = pool_->stats().evictions.load();
+  s.buffer_loads = pool_->stats().loads.load();
+  s.live_undo_records = txn_mgr_->TotalLiveUndo();
+  s.wal_bytes_flushed = wal_->TotalBytesFlushed();
+  s.data_pages_on_disk = data_file_->num_pages();
+  for (uint32_t i = 0; i < txn_mgr_->num_slots(); ++i) {
+    if (txn_mgr_->slot(i).active_xid.load(std::memory_order_acquire) != 0) {
+      s.active_transactions += 1;
+    }
+  }
+  s.clock_now = clock_.Current();
+  return s;
+}
+
+std::string Database::GetStatsString() const {
+  Stats s = GetStats();
+  char buf[512];
+  snprintf(buf, sizeof(buf),
+           "buffer: %llu/%llu frames free, %llu evictions, %llu loads\n"
+           "undo: %llu live records; wal: %llu bytes flushed\n"
+           "disk: %llu data pages; txns: %u active; clock: %llu",
+           static_cast<unsigned long long>(s.buffer_frames_free),
+           static_cast<unsigned long long>(s.buffer_frames_total),
+           static_cast<unsigned long long>(s.buffer_evictions),
+           static_cast<unsigned long long>(s.buffer_loads),
+           static_cast<unsigned long long>(s.live_undo_records),
+           static_cast<unsigned long long>(s.wal_bytes_flushed),
+           static_cast<unsigned long long>(s.data_pages_on_disk),
+           s.active_transactions,
+           static_cast<unsigned long long>(s.clock_now));
+  return buf;
+}
+
+Status Database::Close() {
+  if (closed_) return Status::OK();
+  DrainGc();
+  Status st = CheckpointNow();
+  closed_ = true;
+  if (lock_handle_ >= 0) {
+    env_->UnlockFile(lock_handle_);
+    lock_handle_ = -1;
+  }
+  return st;
+}
+
+}  // namespace phoebe

@@ -1,0 +1,179 @@
+#ifndef PHOEBE_CORE_DATABASE_H_
+#define PHOEBE_CORE_DATABASE_H_
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "baseline/pg_snapshot.h"
+#include "core/catalog.h"
+#include "core/options.h"
+#include "core/table.h"
+#include "runtime/scheduler.h"
+
+namespace phoebe {
+
+/// The PhoebeDB kernel facade: catalog + storage + transactions + WAL +
+/// runtime wiring. One instance per data directory.
+///
+/// Typical use:
+///   auto db = Database::Open(options).value();
+///   Table* t = db->CreateTable("accounts", schema).value();
+///   db->CreateIndex("accounts", "pk", {0}, true);
+///   Transaction* txn = db->Begin(slot_id);
+///   ... t->Insert/Get/Update/Delete(ctx, txn, ...) ...
+///   db->Commit(ctx, txn);   // or db->Abort(ctx, txn)
+///   db->Close();
+class Database {
+ public:
+  /// Opens (or creates) the database; runs crash recovery when needed.
+  static Result<std::unique_ptr<Database>> Open(const DatabaseOptions& options);
+  ~Database();
+
+  Database(const Database&) = delete;
+  Database& operator=(const Database&) = delete;
+
+  /// --- DDL -------------------------------------------------------------------
+
+  Result<Table*> CreateTable(const std::string& name, const Schema& schema);
+  Result<Table*> GetTable(const std::string& name);
+  Table* TableById(RelationId id);
+  Status CreateIndex(const std::string& table, const std::string& index_name,
+                     std::vector<uint32_t> key_columns, bool unique);
+
+  /// Drops a table (and its indexes + frozen store). Quiescent callers
+  /// only: no transaction may be using the table.
+  Status DropTable(const std::string& name);
+
+  /// Drops one secondary index of a table.
+  Status DropIndex(const std::string& table, const std::string& index_name);
+
+  /// --- Transactions ------------------------------------------------------------
+
+  /// Begins a transaction on `slot_id` (a scheduler task slot or aux slot).
+  Transaction* Begin(uint32_t slot_id,
+                     IsolationLevel iso = IsolationLevel::kReadCommitted);
+  /// Begins using the engine's default isolation level.
+  Transaction* BeginDefault(uint32_t slot_id) {
+    return Begin(slot_id, options_.default_isolation);
+  }
+
+  /// Per-statement snapshot refresh (O(1) in Phoebe mode; O(active) scan in
+  /// baseline PostgreSQL-snapshot mode).
+  void StatementBegin(Transaction* txn);
+
+  /// Commits: assigns cts, updates UNDO ets in one scan, logs the commit
+  /// record, and waits for durability under the RFA rule. In coroutine mode
+  /// returns kBlocked(kCommitFlush) until durable — re-invoke after
+  /// yielding (idempotent).
+  Status Commit(OpContext* ctx, Transaction* txn);
+
+  /// Aborts: rolls back all changes via the in-memory UNDO list.
+  Status Abort(OpContext* ctx, Transaction* txn);
+
+  /// --- Runtime wiring ------------------------------------------------------------
+
+  /// Housekeeping hooks for the scheduler (page swap, GC, sweeps).
+  Scheduler::Hooks MakeSchedulerHooks();
+
+  /// First aux slot id (aux slots follow the worker slots).
+  uint32_t aux_slot(uint32_t i = 0) const {
+    return options_.workers * options_.slots_per_worker + i;
+  }
+
+  /// --- Maintenance ------------------------------------------------------------
+
+  /// Quiesced checkpoint: flushes everything, records roots in the catalog,
+  /// truncates the WAL. No transactions may be active.
+  Status CheckpointNow();
+
+  /// Runs GC to completion across all slots (quiesced).
+  void DrainGc();
+
+  /// Clean shutdown: DrainGc + CheckpointNow.
+  Status Close();
+
+  /// Test-only crash simulation: releases the directory lock and suppresses
+  /// the destructor's clean shutdown, leaving all on-disk state exactly as a
+  /// real crash would (WAL un-truncated, no checkpoint). The object must be
+  /// leaked afterwards (its threads stay alive).
+  void TEST_SimulateCrash() {
+    closed_ = true;
+    if (lock_handle_ >= 0) {
+      env_->UnlockFile(lock_handle_);
+      lock_handle_ = -1;
+    }
+  }
+
+  /// --- Components ------------------------------------------------------------
+
+  const DatabaseOptions& options() const { return options_; }
+  TxnManager* txn_manager() { return txn_mgr_.get(); }
+  WalManager* wal() { return wal_.get(); }
+  BufferPool* pool() { return pool_.get(); }
+  BTreeRegistry* registry() { return registry_.get(); }
+  GlobalClock* clock() { return &clock_; }
+  EngineDeps* deps() { return &deps_; }
+  BandwidthThrottle* throttle() { return throttle_.get(); }
+
+  /// Point-in-time engine statistics (diagnostics / examples / benches).
+  struct Stats {
+    uint64_t buffer_frames_total = 0;
+    uint64_t buffer_frames_free = 0;
+    uint64_t buffer_evictions = 0;
+    uint64_t buffer_loads = 0;
+    uint64_t live_undo_records = 0;
+    uint64_t wal_bytes_flushed = 0;
+    uint64_t data_pages_on_disk = 0;
+    uint32_t active_transactions = 0;
+    uint64_t clock_now = 0;
+  };
+  Stats GetStats() const;
+  std::string GetStatsString() const;
+
+  struct RecoveryInfo {
+    bool ran = false;
+    uint64_t records_replayed = 0;
+    uint64_t committed_txns = 0;
+    uint64_t skipped_uncommitted = 0;
+  };
+  const RecoveryInfo& recovery_info() const { return recovery_info_; }
+
+ private:
+  explicit Database(const DatabaseOptions& options);
+
+  Status Init();
+  Status LoadCatalogAndRecover();
+  Status PersistCatalog(bool clean);
+  Status RunRecovery();
+
+  DatabaseOptions options_;
+  Env* env_;
+  GlobalClock clock_;
+  std::unique_ptr<BandwidthThrottle> throttle_;
+  std::unique_ptr<PageFile> data_file_;
+  std::unique_ptr<BufferPool> pool_;
+  std::unique_ptr<BTreeRegistry> registry_;
+  std::unique_ptr<TxnManager> txn_mgr_;
+  std::unique_ptr<WalManager> wal_;
+  std::unique_ptr<GlobalLockTable> lock_table_;
+  std::unique_ptr<PgSnapshotManager> pg_snapshots_;
+  std::vector<std::vector<uint64_t>> held_locks_;
+  EngineDeps deps_;
+
+  std::mutex ddl_mu_;
+  RelationId next_relation_id_ = 1;
+  std::vector<std::unique_ptr<Table>> tables_;
+  std::map<std::string, Table*> tables_by_name_;
+  std::map<RelationId, Table*> tables_by_id_;
+
+  RecoveryInfo recovery_info_;
+  bool closed_ = false;
+  int lock_handle_ = -1;
+};
+
+}  // namespace phoebe
+
+#endif  // PHOEBE_CORE_DATABASE_H_

@@ -1,0 +1,1224 @@
+#include "core/table.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/clock.h"
+#include "common/coding.h"
+#include "common/profiler.h"
+#include "txn/visibility.h"
+#include "wal/record.h"
+
+namespace phoebe {
+
+namespace {
+
+void EncodeOrderedInt64(std::string* out, int64_t v) {
+  // Flip the sign bit so two's-complement order matches memcmp order.
+  uint64_t u = static_cast<uint64_t>(v) ^ (1ull << 63);
+  char buf[8];
+  EncodeBigEndian64(buf, u);
+  out->append(buf, 8);
+}
+
+}  // namespace
+
+Table::Table(EngineDeps* deps, std::string name, RelationId id, Schema schema)
+    : deps_(deps),
+      name_(std::move(name)),
+      id_(id),
+      schema_(std::move(schema)),
+      layout_(TableLeafLayout::Compute(schema_)) {}
+
+Status Table::Create() {
+  auto tree = BTree::Create(deps_->pool, deps_->registry,
+                            BTree::TreeKind::kTable, &schema_, &layout_);
+  if (!tree.ok()) return tree.status();
+  tree_ = std::move(tree.value());
+  auto frozen = FrozenStore::Open(deps_->env, deps_->dir, name_, &schema_);
+  if (!frozen.ok()) return frozen.status();
+  frozen_ = std::move(frozen.value());
+  return Status::OK();
+}
+
+Status Table::OpenFromCheckpoint(PageId root, RowId next_row_id) {
+  auto tree = BTree::OpenFromRoot(deps_->pool, deps_->registry,
+                                  BTree::TreeKind::kTable, &schema_, &layout_,
+                                  root);
+  if (!tree.ok()) return tree.status();
+  tree_ = std::move(tree.value());
+  next_row_id_.store(next_row_id, std::memory_order_relaxed);
+  auto frozen = FrozenStore::Open(deps_->env, deps_->dir, name_, &schema_);
+  if (!frozen.ok()) return frozen.status();
+  frozen_ = std::move(frozen.value());
+  return Status::OK();
+}
+
+Status Table::AddIndex(const std::string& name, RelationId id,
+                       std::vector<uint32_t> key_columns, bool unique,
+                       PageId checkpoint_root) {
+  auto idx = std::make_unique<IndexDef>();
+  idx->name = name;
+  idx->id = id;
+  idx->key_columns = std::move(key_columns);
+  idx->unique = unique;
+  Result<std::unique_ptr<BTree>> tree =
+      checkpoint_root == kInvalidPageId
+          ? BTree::Create(deps_->pool, deps_->registry,
+                          BTree::TreeKind::kIndex, nullptr, nullptr)
+          : BTree::OpenFromRoot(deps_->pool, deps_->registry,
+                                BTree::TreeKind::kIndex, nullptr, nullptr,
+                                checkpoint_root);
+  if (!tree.ok()) return tree.status();
+  idx->tree = std::move(tree.value());
+  indexes_.push_back(std::move(idx));
+  return Status::OK();
+}
+
+int Table::FindIndex(const std::string& name) const {
+  for (size_t i = 0; i < indexes_.size(); ++i) {
+    if (indexes_[i]->name == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+// ---------------------------------------------------------------------------
+// Key encoding
+// ---------------------------------------------------------------------------
+
+Result<std::string> Table::EncodeKeyValues(const Schema& schema,
+                                           const std::vector<uint32_t>& cols,
+                                           const std::vector<Value>& values) {
+  if (cols.size() != values.size()) {
+    return Result<std::string>(
+        Status::InvalidArgument("key value count mismatch"));
+  }
+  std::string out;
+  for (size_t i = 0; i < cols.size(); ++i) {
+    const ColumnDef& def = schema.column(cols[i]);
+    const Value& v = values[i];
+    switch (def.type) {
+      case ColumnType::kInt32:
+      case ColumnType::kInt64:
+        EncodeOrderedInt64(&out, v.i64);
+        break;
+      case ColumnType::kString:
+        out.append(v.str);
+        out.push_back('\0');
+        break;
+      case ColumnType::kDouble:
+        return Result<std::string>(
+            Status::NotSupported("double index keys"));
+    }
+  }
+  return Result<std::string>(std::move(out));
+}
+
+Result<std::string> Table::EncodeKeyFromRow(const Schema& schema,
+                                            const std::vector<uint32_t>& cols,
+                                            RowView row) {
+  std::vector<Value> values;
+  values.reserve(cols.size());
+  for (uint32_t c : cols) values.push_back(row.GetValue(c));
+  return EncodeKeyValues(schema, cols, values);
+}
+
+std::string Table::PrefixSuccessor(const std::string& key) {
+  std::string out = key;
+  while (!out.empty()) {
+    if (static_cast<uint8_t>(out.back()) != 0xFF) {
+      out.back() = static_cast<char>(static_cast<uint8_t>(out.back()) + 1);
+      return out;
+    }
+    out.pop_back();
+  }
+  return out;  // empty = unbounded
+}
+
+void Table::BumpNextRowId(RowId at_least) {
+  RowId cur = next_row_id_.load(std::memory_order_relaxed);
+  while (at_least > cur && !next_row_id_.compare_exchange_weak(
+                               cur, at_least, std::memory_order_relaxed)) {
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Secondary index entries
+// ---------------------------------------------------------------------------
+
+namespace {
+std::string IndexEntryKey(const IndexDef& idx, Slice user_key, RowId rid) {
+  std::string key(user_key.data(), user_key.size());
+  if (!idx.unique) {
+    char buf[8];
+    EncodeBigEndian64(buf, rid);
+    key.append(buf, 8);
+  }
+  return key;
+}
+}  // namespace
+
+Status Table::HandleWriteBlock(OpContext* ctx, Transaction* txn,
+                               const Status& conflict) {
+  Xid other = conflict.wait_xid();
+  uint64_t now = NowNanos();
+  if (txn->waiting_on != other) {
+    txn->waiting_on = other;
+    txn->wait_started_ns = now;
+  } else if (now - txn->wait_started_ns >
+             deps_->options->deadlock_timeout_ms * 1000000ull) {
+    txn->waiting_on = 0;
+    return Status::Aborted("lock wait timeout (possible deadlock)");
+  }
+  if (ctx->synchronous) {
+    deps_->txn_mgr->WaitForXidFor(other, 2000);
+    return Status::OK();  // caller retries its loop
+  }
+  return conflict;  // propagate kBlocked; the coroutine yields and retries
+}
+
+Status Table::IndexInsertEntry(OpContext* ctx, IndexDef& idx, Slice user_key,
+                               RowId rid) {
+  std::string key = IndexEntryKey(idx, user_key, rid);
+  Status st = idx.tree->IndexInsert(ctx, key, rid);
+  if (st.IsKeyExists()) {
+    uint64_t existing = 0;
+    Status ls = idx.tree->IndexLookup(ctx, key, &existing);
+    if (ls.ok() && existing == rid) return Status::OK();  // resume/idempotent
+    return Status::Aborted("unique index violation: " + idx.name);
+  }
+  return st;
+}
+
+Status Table::IndexRemoveEntry(OpContext* ctx, IndexDef& idx, Slice user_key,
+                               RowId rid) {
+  std::string key = IndexEntryKey(idx, user_key, rid);
+  if (idx.unique) {
+    // Only remove if the entry still maps to this row.
+    uint64_t existing = 0;
+    Status ls = idx.tree->IndexLookup(ctx, key, &existing);
+    if (ls.IsNotFound()) return Status::OK();
+    if (!ls.ok()) return ls;
+    if (existing != rid) return Status::OK();
+  }
+  Status st = idx.tree->IndexRemove(ctx, key);
+  if (st.IsNotFound()) return Status::OK();  // idempotent
+  return st;
+}
+
+// ---------------------------------------------------------------------------
+// Insert
+// ---------------------------------------------------------------------------
+
+Status Table::InsertBase(OpContext* ctx, Transaction* txn, RowId rid,
+                         Slice row) {
+  for (;;) {
+    LeafGuard g;
+    PHOEBE_RETURN_IF_ERROR(tree_->FixLeaf(ctx, BTree::TableKey(rid),
+                                          LatchMode::kExclusive, &g));
+    TableLeaf leaf(g.page(), &schema_, &layout_);
+    if (!leaf.InRange(rid)) {
+      g.Release();
+      PHOEBE_RETURN_IF_ERROR(tree_->AppendTableLeaf(ctx, rid));
+      continue;
+    }
+    uint16_t slot = leaf.SlotOf(rid);
+    BufferFrame* frame = g.frame();
+    bool created = TwinTable::Of(frame) == nullptr;
+    TwinTable* twin = TwinTable::GetOrCreate(frame, leaf.capacity());
+    if (created) deps_->txn_mgr->RegisterTwin(frame);
+    auto& entry = twin->entry(slot);
+
+    if (leaf.IsLive(slot)) {
+      // Resume idempotence: already applied by this transaction?
+      UndoRecord* h = entry.head.load(std::memory_order_acquire);
+      if (h != nullptr && h->IsLive(nullptr) && h->rid == rid &&
+          h->kind == UndoKind::kInsert &&
+          h->ets.load(std::memory_order_acquire) == txn->xid()) {
+        return Status::OK();
+      }
+      return Status::Corruption("insert: row id already occupied");
+    }
+
+    ComponentScope prof(Component::kMvcc);
+    UndoRecord* prev = entry.head.load(std::memory_order_acquire);
+    UndoRecord* undo = deps_->txn_mgr->slot(txn->slot_id())
+                           .arena.Alloc(UndoKind::kInsert, id_, rid, Slice());
+    undo->sts.store(0, std::memory_order_relaxed);
+    undo->ets.store(txn->xid(), std::memory_order_relaxed);
+    undo->next.store(prev, std::memory_order_relaxed);
+    txn->PushUndo(undo);
+    twin->NoteWriter(txn->xid());
+    entry.locker.store(txn->xid(), std::memory_order_relaxed);
+    entry.head.store(undo, std::memory_order_release);
+
+    PHOEBE_RETURN_IF_ERROR(
+        leaf.InsertRow(slot, RowView(&schema_, row.data())));
+    frame->dirty.store(true, std::memory_order_release);
+    uint64_t gsn = deps_->wal->OnPageWrite(txn, frame);
+    deps_->wal->LogData(txn, WalRecordType::kInsert, gsn,
+                        WalRecordCodec::DataPayload(id_, rid, row));
+    entry.locker.store(0, std::memory_order_relaxed);
+    return Status::OK();
+  }
+}
+
+Status Table::Insert(OpContext* ctx, Transaction* txn, Slice row,
+                     RowId* rid_inout) {
+  if (*rid_inout == 0) {
+    *rid_inout = next_row_id_.fetch_add(1, std::memory_order_relaxed);
+  }
+  RowId rid = *rid_inout;
+  PHOEBE_RETURN_IF_ERROR(InsertBase(ctx, txn, rid, row));
+
+  // Index maintenance: synchronous sub-context (no yields after the apply).
+  OpContext sync;
+  sync.InitSyncViewOf(*ctx);
+  RowView view(&schema_, row.data());
+  for (auto& idx : indexes_) {
+    Result<std::string> key =
+        EncodeKeyFromRow(schema_, idx->key_columns, view);
+    if (!key.ok()) return key.status();
+    PHOEBE_RETURN_IF_ERROR(IndexInsertEntry(&sync, *idx, key.value(), rid));
+  }
+  txn->rows_written += 1;
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// Get
+// ---------------------------------------------------------------------------
+
+Status Table::Get(OpContext* ctx, Transaction* txn, RowId rid,
+                  std::string* row) {
+  // Tree first: live tree rows are authoritative even below the frozen
+  // watermark (a freeze that raced a writer leaves a stale, shadowed block;
+  // see DESIGN.md 4b). Frozen store is the fallback.
+  LeafGuard g;
+  PHOEBE_RETURN_IF_ERROR(
+      tree_->FixLeaf(ctx, BTree::TableKey(rid), LatchMode::kShared, &g));
+  TableLeaf leaf(g.page(), &schema_, &layout_);
+  uint16_t slot;
+  if (!leaf.InRange(rid) || !leaf.IsLive(slot = leaf.SlotOf(rid))) {
+    g.Release();
+    if (frozen_ != nullptr && rid <= frozen_->max_frozen_row_id()) {
+      Status st = frozen_->ReadRow(rid, row);
+      if (st.ok()) txn->rows_read += 1;
+      return st;
+    }
+    return Status::NotFound();
+  }
+  std::string base;
+  PHOEBE_RETURN_IF_ERROR(leaf.ReadRow(slot, &base));
+  bool base_deleted = leaf.IsDeleted(slot);
+  TwinTable* twin = TwinTable::Of(g.frame());
+  TwinTable::Entry* entry = twin != nullptr ? &twin->entry(slot) : nullptr;
+  deps_->wal->OnPageRead(txn, g.frame());
+
+  VisibleVersion vv;
+  PHOEBE_RETURN_IF_ERROR(RetrieveVisibleVersion(
+      schema_, txn->xid(), txn->snapshot(), base, base_deleted, entry, id_,
+      rid, &vv));
+  g.Release();
+  if (!vv.exists) return Status::NotFound();
+  *row = std::move(vv.row);
+  txn->rows_read += 1;
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// Update
+// ---------------------------------------------------------------------------
+
+Status Table::Update(OpContext* ctx, Transaction* txn, RowId rid,
+                     const std::vector<std::pair<uint32_t, Value>>& sets) {
+  return UpdateApply(
+      ctx, txn, rid,
+      [&sets](RowView, std::vector<std::pair<uint32_t, Value>>* out) {
+        *out = sets;
+        return Status::OK();
+      });
+}
+
+Status Table::UpdateApply(OpContext* ctx, Transaction* txn, RowId rid,
+                          const UpdateFn& compute) {
+
+  // Baseline global lock table: acquire before touching the page, with
+  // the same deadlock-timeout policy as Phoebe-mode XID waits.
+  if (deps_->options->baseline_global_lock_table) {
+    uint64_t lock_key = GlobalLockTable::Key(id_, rid);
+    for (;;) {
+      Status st = deps_->lock_table->AcquireExclusive(lock_key, txn->xid(),
+                                                      /*blocking=*/false);
+      if (st.ok()) {
+        (*deps_->held_locks)[txn->slot_id()].push_back(lock_key);
+        txn->waiting_on = 0;
+        break;
+      }
+      Status wait = HandleWriteBlock(ctx, txn, st);
+      if (wait.ok()) continue;  // synchronous retry
+      return wait;              // kBlocked (yield) or kAborted (timeout)
+    }
+  }
+
+  for (;;) {
+    LeafGuard g;
+    PHOEBE_RETURN_IF_ERROR(
+        tree_->FixLeaf(ctx, BTree::TableKey(rid), LatchMode::kExclusive, &g));
+    TableLeaf leaf(g.page(), &schema_, &layout_);
+    uint16_t slot;
+    if (!leaf.InRange(rid) || !leaf.IsLive(slot = leaf.SlotOf(rid))) {
+      g.Release();
+      if (frozen_ != nullptr && rid <= frozen_->max_frozen_row_id() &&
+          !frozen_->IsDeleted(rid)) {
+        // Frozen update: warm the row into hot storage, then update the
+        // fresh copy (Section 5.2 case 3). Runs synchronously.
+        OpContext sync;
+        sync.InitSyncViewOf(*ctx);
+        RowId new_rid = 0;
+        std::string warmed;
+        Status st = WarmRow(&sync, txn, rid, &new_rid, &warmed);
+        if (st.IsNotFound()) return st;
+        PHOEBE_RETURN_IF_ERROR(st);
+        return UpdateApply(&sync, txn, new_rid, compute);
+      }
+      return Status::NotFound();
+    }
+    BufferFrame* frame = g.frame();
+    bool created = TwinTable::Of(frame) == nullptr;
+    TwinTable* twin = TwinTable::GetOrCreate(frame, leaf.capacity());
+    if (created) deps_->txn_mgr->RegisterTwin(frame);
+    auto& entry = twin->entry(slot);
+
+    {
+      ComponentScope prof(Component::kLocking);
+      Status conflict = CheckWriteConflict(txn->xid(), txn->snapshot(),
+                                           txn->isolation(), &entry, id_, rid);
+      if (conflict.IsBlocked()) {
+        g.Release();
+        Status wait = HandleWriteBlock(ctx, txn, conflict);
+        if (wait.ok()) continue;  // synchronous retry
+        return wait;              // kBlocked (yield) or kAborted (deadlock)
+      }
+      if (!conflict.ok()) return conflict;
+      txn->waiting_on = 0;
+    }
+    if (leaf.IsDeleted(slot)) {
+      // Deleted by a committed transaction: nothing to update.
+      return Status::NotFound();
+    }
+
+    ComponentScope prof(Component::kMvcc);
+    std::string old_row;
+    PHOEBE_RETURN_IF_ERROR(leaf.ReadRow(slot, &old_row));
+    RowView old_view(&schema_, old_row.data());
+
+    // Evaluate the update against the current committed row (atomic RMW).
+    std::vector<std::pair<uint32_t, Value>> sets;
+    {
+      Status st = compute(old_view, &sets);
+      if (!st.ok()) return st;
+    }
+
+    // Build the new row.
+    RowBuilder builder(&schema_);
+    for (size_t c = 0; c < schema_.num_columns(); ++c) {
+      if (old_view.IsNull(c)) {
+        builder.SetNull(c);
+      } else {
+        builder.Set(c, old_view.GetValue(c));
+      }
+    }
+    std::vector<uint32_t> cols;
+    cols.reserve(sets.size());
+    for (const auto& [col, value] : sets) {
+      if (value.is_null) {
+        builder.SetNull(col);
+      } else {
+        builder.Set(col, value);
+      }
+      cols.push_back(col);
+    }
+    Result<std::string> new_row = builder.Encode();
+    if (!new_row.ok()) return new_row.status();
+    RowView new_view(&schema_, new_row.value().data());
+
+    // UNDO: before-image delta of the touched columns (Section 6.2).
+    std::string before_delta = DeltaCodec::MakeDelta(schema_, old_view, cols);
+    UndoRecord* prev = entry.head.load(std::memory_order_acquire);
+    uint64_t prev_ets = 0;
+    if (prev != nullptr && prev->IsLive(nullptr) && prev->rid == rid) {
+      prev_ets = prev->ets.load(std::memory_order_acquire);
+    }
+    UndoRecord* undo =
+        deps_->txn_mgr->slot(txn->slot_id())
+            .arena.Alloc(UndoKind::kUpdate, id_, rid, before_delta);
+    undo->sts.store(prev_ets, std::memory_order_relaxed);
+    undo->ets.store(txn->xid(), std::memory_order_relaxed);
+    undo->next.store(prev, std::memory_order_relaxed);
+    txn->PushUndo(undo);
+    twin->NoteWriter(txn->xid());
+    entry.locker.store(txn->xid(), std::memory_order_relaxed);
+    entry.head.store(undo, std::memory_order_release);
+
+    PHOEBE_RETURN_IF_ERROR(leaf.UpdateRow(slot, new_view));
+    frame->dirty.store(true, std::memory_order_release);
+    uint64_t gsn = deps_->wal->OnPageWrite(txn, frame);
+    std::string after_delta = DeltaCodec::MakeDelta(schema_, new_view, cols);
+    deps_->wal->LogData(txn, WalRecordType::kUpdate, gsn,
+                        WalRecordCodec::DataPayload(id_, rid, after_delta));
+    entry.locker.store(0, std::memory_order_relaxed);
+    g.Release();
+
+    // Key-changing updates: swap the affected index entries (synchronous).
+    OpContext sync;
+  sync.InitSyncViewOf(*ctx);
+    for (auto& idx : indexes_) {
+      bool touches = false;
+      for (uint32_t c : idx->key_columns) {
+        if (std::find(cols.begin(), cols.end(), c) != cols.end()) {
+          touches = true;
+          break;
+        }
+      }
+      if (!touches) continue;
+      Result<std::string> old_key =
+          EncodeKeyFromRow(schema_, idx->key_columns, old_view);
+      Result<std::string> new_key =
+          EncodeKeyFromRow(schema_, idx->key_columns, new_view);
+      if (!old_key.ok()) return old_key.status();
+      if (!new_key.ok()) return new_key.status();
+      if (old_key.value() == new_key.value()) continue;
+      PHOEBE_RETURN_IF_ERROR(
+          IndexInsertEntry(&sync, *idx, new_key.value(), rid));
+    }
+    txn->rows_written += 1;
+    return Status::OK();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Delete
+// ---------------------------------------------------------------------------
+
+Status Table::Delete(OpContext* ctx, Transaction* txn, RowId rid) {
+
+  if (deps_->options->baseline_global_lock_table) {
+    uint64_t lock_key = GlobalLockTable::Key(id_, rid);
+    for (;;) {
+      Status st = deps_->lock_table->AcquireExclusive(lock_key, txn->xid(),
+                                                      /*blocking=*/false);
+      if (st.ok()) {
+        (*deps_->held_locks)[txn->slot_id()].push_back(lock_key);
+        txn->waiting_on = 0;
+        break;
+      }
+      Status wait = HandleWriteBlock(ctx, txn, st);
+      if (wait.ok()) continue;  // synchronous retry
+      return wait;              // kBlocked (yield) or kAborted (timeout)
+    }
+  }
+
+  for (;;) {
+    LeafGuard g;
+    PHOEBE_RETURN_IF_ERROR(
+        tree_->FixLeaf(ctx, BTree::TableKey(rid), LatchMode::kExclusive, &g));
+    TableLeaf leaf(g.page(), &schema_, &layout_);
+    uint16_t slot;
+    if (!leaf.InRange(rid) || !leaf.IsLive(slot = leaf.SlotOf(rid))) {
+      g.Release();
+      if (frozen_ != nullptr && rid <= frozen_->max_frozen_row_id()) {
+        return DeleteFrozen(ctx, txn, rid);
+      }
+      return Status::NotFound();
+    }
+    BufferFrame* frame = g.frame();
+    bool created = TwinTable::Of(frame) == nullptr;
+    TwinTable* twin = TwinTable::GetOrCreate(frame, leaf.capacity());
+    if (created) deps_->txn_mgr->RegisterTwin(frame);
+    auto& entry = twin->entry(slot);
+
+    {
+      ComponentScope prof(Component::kLocking);
+      Status conflict = CheckWriteConflict(txn->xid(), txn->snapshot(),
+                                           txn->isolation(), &entry, id_, rid);
+      if (conflict.IsBlocked()) {
+        g.Release();
+        Status wait = HandleWriteBlock(ctx, txn, conflict);
+        if (wait.ok()) continue;  // synchronous retry
+        return wait;              // kBlocked (yield) or kAborted (deadlock)
+      }
+      if (!conflict.ok()) return conflict;
+      txn->waiting_on = 0;
+    }
+    if (leaf.IsDeleted(slot)) return Status::NotFound();
+
+    ComponentScope prof(Component::kMvcc);
+    UndoRecord* prev = entry.head.load(std::memory_order_acquire);
+    uint64_t prev_ets = 0;
+    if (prev != nullptr && prev->IsLive(nullptr) && prev->rid == rid) {
+      prev_ets = prev->ets.load(std::memory_order_acquire);
+    }
+    UndoRecord* undo = deps_->txn_mgr->slot(txn->slot_id())
+                           .arena.Alloc(UndoKind::kDelete, id_, rid, Slice());
+    undo->sts.store(prev_ets, std::memory_order_relaxed);
+    undo->ets.store(txn->xid(), std::memory_order_relaxed);
+    undo->next.store(prev, std::memory_order_relaxed);
+    txn->PushUndo(undo);
+    twin->NoteWriter(txn->xid());
+    entry.head.store(undo, std::memory_order_release);
+
+    PHOEBE_RETURN_IF_ERROR(leaf.SetDeleted(slot, true));
+    frame->dirty.store(true, std::memory_order_release);
+    uint64_t gsn = deps_->wal->OnPageWrite(txn, frame);
+    deps_->wal->LogData(txn, WalRecordType::kDelete, gsn,
+                        WalRecordCodec::DataPayload(id_, rid, Slice()));
+    if (frozen_ != nullptr && rid <= frozen_->max_frozen_row_id()) {
+      // Shadow tombstone: a raced freeze may hold a stale copy of this row;
+      // once GC purges the tree slot, the fallback must not resurrect it.
+      frozen_->MarkDeleted(rid);
+    }
+    txn->rows_written += 1;
+    return Status::OK();
+  }
+}
+
+/// Out-of-place delete of a row living only in the frozen tier: tombstone +
+/// WAL (so recovery re-marks it) + immediate index removal (Section 5.2).
+Status Table::DeleteFrozen(OpContext* ctx, Transaction* txn, RowId rid) {
+  std::string row;
+  Status st = frozen_->ReadRow(rid, &row);
+  if (st.IsNotFound()) return st;
+  PHOEBE_RETURN_IF_ERROR(st);
+  frozen_->MarkDeleted(rid);
+  uint64_t gsn = deps_->wal->WriterFor(txn->slot_id()).LoadGsn() + 1;
+  deps_->wal->WriterFor(txn->slot_id()).RaiseGsn(gsn);
+  deps_->wal->LogData(txn, WalRecordType::kDelete, gsn,
+                      WalRecordCodec::DataPayload(id_, rid, Slice()));
+  OpContext sync;
+  sync.InitSyncViewOf(*ctx);
+  RowView view(&schema_, row.data());
+  for (auto& idx : indexes_) {
+    Result<std::string> key =
+        EncodeKeyFromRow(schema_, idx->key_columns, view);
+    if (!key.ok()) return key.status();
+    PHOEBE_RETURN_IF_ERROR(IndexRemoveEntry(&sync, *idx, key.value(), rid));
+  }
+  txn->rows_written += 1;
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// Index access
+// ---------------------------------------------------------------------------
+
+Status Table::IndexGet(OpContext* ctx, Transaction* txn, size_t index_no,
+                       const std::vector<Value>& key_values, RowId* rid,
+                       std::string* row) {
+  IndexDef& idx = *indexes_[index_no];
+  Result<std::string> key =
+      EncodeKeyValues(schema_, idx.key_columns, key_values);
+  if (!key.ok()) return key.status();
+  uint64_t value = 0;
+  PHOEBE_RETURN_IF_ERROR(idx.tree->IndexLookup(ctx, key.value(), &value));
+  if (rid != nullptr) *rid = value;
+  if (row != nullptr) {
+    return Get(ctx, txn, value, row);
+  }
+  return Status::OK();
+}
+
+Status Table::IndexScan(
+    OpContext* ctx, Transaction* txn, size_t index_no,
+    const std::vector<Value>& lo_values, const std::vector<Value>& hi_values,
+    const std::function<bool(RowId, const std::string&)>& cb) {
+  IndexDef& idx = *indexes_[index_no];
+  std::vector<uint32_t> lo_cols(idx.key_columns.begin(),
+                                idx.key_columns.begin() + lo_values.size());
+  Result<std::string> lo = EncodeKeyValues(schema_, lo_cols, lo_values);
+  if (!lo.ok()) return lo.status();
+  std::string hi;
+  if (hi_values.empty()) {
+    hi = PrefixSuccessor(lo.value());
+  } else {
+    std::vector<uint32_t> hi_cols(idx.key_columns.begin(),
+                                  idx.key_columns.begin() + hi_values.size());
+    Result<std::string> h = EncodeKeyValues(schema_, hi_cols, hi_values);
+    if (!h.ok()) return h.status();
+    hi = h.value();
+  }
+
+  std::vector<RowId> rids;
+  PHOEBE_RETURN_IF_ERROR(idx.tree->IndexScan(
+      ctx, lo.value(), hi, [&rids](Slice, uint64_t v) {
+        rids.push_back(v);
+        return true;
+      }));
+  for (RowId rid : rids) {
+    std::string row;
+    Status st = Get(ctx, txn, rid, &row);
+    if (st.IsNotFound()) continue;  // not visible to this snapshot
+    PHOEBE_RETURN_IF_ERROR(st);
+    if (!cb(rid, row)) break;
+  }
+  return Status::OK();
+}
+
+Status Table::ScanAllVisible(
+    OpContext* ctx, Transaction* txn,
+    const std::function<bool(RowId, const std::string&)>& cb) {
+  // Walk hot/cold leaves collecting row ids, then read each with
+  // visibility. Collect first to avoid callback re-entry under latches.
+  // Live tree slots at or below the frozen watermark shadow stale frozen
+  // copies left by a freeze that raced a writer (see DESIGN.md 4b).
+  std::vector<RowId> rids;
+  std::unordered_set<RowId> shadowed;
+  RowId watermark =
+      frozen_ != nullptr ? frozen_->max_frozen_row_id() : 0;
+  OpContext scan_ctx;
+  scan_ctx.InitSyncViewOf(*ctx);
+  scan_ctx.count_accesses = false;
+  PHOEBE_RETURN_IF_ERROR(tree_->ForEachTableLeaf(
+      &scan_ctx, [&](TableLeaf& leaf, BufferFrame*) {
+        for (uint16_t s = 0; s < leaf.capacity(); ++s) {
+          if (!leaf.IsLive(s)) continue;
+          RowId rid = leaf.first_row_id() + s;
+          rids.push_back(rid);
+          if (rid <= watermark) shadowed.insert(rid);
+        }
+        return true;
+      }));
+  bool stop = false;
+  if (frozen_ != nullptr) {
+    PHOEBE_RETURN_IF_ERROR(
+        frozen_->Scan([&](RowId rid, const std::string& row) {
+          if (shadowed.count(rid) != 0) return true;
+          if (!cb(rid, row)) {
+            stop = true;
+            return false;
+          }
+          return true;
+        }));
+    if (stop) return Status::OK();
+  }
+  for (RowId rid : rids) {
+    std::string row;
+    Status st = Get(&scan_ctx, txn, rid, &row);
+    if (st.IsNotFound()) continue;
+    PHOEBE_RETURN_IF_ERROR(st);
+    if (!cb(rid, row)) break;
+  }
+  return Status::OK();
+}
+
+namespace {
+
+/// Shared columnar-scan driver over the frozen + hot tiers.
+template <typename T>
+Status ScanColumnGeneric(Table* table, BTree* tree, FrozenStore* frozen,
+                         const Schema& schema, OpContext* ctx,
+                         Transaction* txn, uint32_t col,
+                         const std::function<bool(RowId, T)>& cb) {
+  bool stop = false;
+  // Pre-pass: live tree slots at/below the frozen watermark shadow stale
+  // frozen copies (freeze raced a writer; tree is authoritative).
+  std::unordered_set<RowId> shadowed;
+  OpContext pre_ctx;
+  pre_ctx.InitSyncViewOf(*ctx);
+  pre_ctx.count_accesses = false;
+  if (frozen != nullptr && frozen->max_frozen_row_id() > 0) {
+    RowId watermark = frozen->max_frozen_row_id();
+    PHOEBE_RETURN_IF_ERROR(tree->ForEachTableLeaf(
+        &pre_ctx, [&](TableLeaf& leaf, BufferFrame*) {
+          if (leaf.first_row_id() > watermark) return false;  // past it
+          for (uint16_t s = 0; s < leaf.capacity(); ++s) {
+            RowId rid = leaf.first_row_id() + s;
+            if (rid > watermark) break;
+            if (leaf.IsLive(s)) shadowed.insert(rid);
+          }
+          return true;
+        }));
+  }
+  // Frozen tier: per-block column projection (no row materialization).
+  if (frozen != nullptr) {
+    std::function<bool(RowId, T)> wrapped = [&](RowId rid, T v) {
+      if (shadowed.count(rid) != 0) return true;
+      if (!cb(rid, v)) {
+        stop = true;
+        return false;
+      }
+      return true;
+    };
+    if constexpr (std::is_same_v<T, int64_t>) {
+      PHOEBE_RETURN_IF_ERROR(frozen->ScanColumnInt64(col, wrapped));
+    } else {
+      PHOEBE_RETURN_IF_ERROR(frozen->ScanColumnDouble(col, wrapped));
+    }
+    if (stop) return Status::OK();
+  }
+
+  // Hot/cold tier: direct PAX minipage reads; per-tuple visibility only for
+  // slots with pending version chains (Algorithm 1 fallback).
+  OpContext scan_ctx;
+  scan_ctx.InitSyncViewOf(*ctx);
+  scan_ctx.count_accesses = false;
+  std::vector<RowId> slow;
+  Status scan_st = tree->ForEachTableLeaf(
+      &scan_ctx, [&](TableLeaf& leaf, BufferFrame* frame) {
+        TwinTable* twin = TwinTable::Of(frame);
+        for (uint16_t s = 0; s < leaf.capacity(); ++s) {
+          if (!leaf.IsLive(s)) continue;
+          RowId rid = leaf.first_row_id() + s;
+          bool has_chain = false;
+          if (twin != nullptr) {
+            UndoRecord* h =
+                twin->entry(s).head.load(std::memory_order_acquire);
+            has_chain = h != nullptr && h->IsLive(nullptr);
+          }
+          if (has_chain) {
+            slow.push_back(rid);  // resolve via Algorithm 1 afterwards
+            continue;
+          }
+          if (leaf.IsDeleted(s) || leaf.IsNullCol(s, col)) continue;
+          T v;
+          if constexpr (std::is_same_v<T, int64_t>) {
+            v = leaf.ReadInt64Col(s, col);
+          } else {
+            v = leaf.ReadDoubleCol(s, col);
+          }
+          if (!cb(rid, v)) {
+            stop = true;
+            return false;
+          }
+        }
+        return true;
+      });
+  PHOEBE_RETURN_IF_ERROR(scan_st);
+  if (stop) return Status::OK();
+
+  for (RowId rid : slow) {
+    std::string row;
+    Status st = table->Get(&scan_ctx, txn, rid, &row);
+    if (st.IsNotFound()) continue;
+    PHOEBE_RETURN_IF_ERROR(st);
+    RowView view(&schema, row.data());
+    if (view.IsNull(col)) continue;
+    T v;
+    if constexpr (std::is_same_v<T, int64_t>) {
+      v = schema.column(col).type == ColumnType::kInt32
+              ? view.GetInt32(col)
+              : view.GetInt64(col);
+    } else {
+      v = view.GetDouble(col);
+    }
+    if (!cb(rid, v)) break;
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status Table::ScanColumnInt64(
+    OpContext* ctx, Transaction* txn, uint32_t col,
+    const std::function<bool(RowId, int64_t)>& cb) {
+  if (col >= schema_.num_columns()) {
+    return Status::InvalidArgument("no such column");
+  }
+  ColumnType type = schema_.column(col).type;
+  if (type != ColumnType::kInt32 && type != ColumnType::kInt64) {
+    return Status::InvalidArgument("not an integer column");
+  }
+  return ScanColumnGeneric<int64_t>(this, tree_.get(), frozen_.get(), schema_,
+                                    ctx, txn, col, cb);
+}
+
+Status Table::ScanColumnDouble(
+    OpContext* ctx, Transaction* txn, uint32_t col,
+    const std::function<bool(RowId, double)>& cb) {
+  if (col >= schema_.num_columns() ||
+      schema_.column(col).type != ColumnType::kDouble) {
+    return Status::InvalidArgument("not a double column");
+  }
+  return ScanColumnGeneric<double>(this, tree_.get(), frozen_.get(), schema_,
+                                   ctx, txn, col, cb);
+}
+
+// ---------------------------------------------------------------------------
+// Rollback & GC
+// ---------------------------------------------------------------------------
+
+Status Table::RollbackRecord(OpContext* ctx, Transaction* txn,
+                             const UndoRecord* rec) {
+  OpContext sync;
+  sync.InitSyncViewOf(*ctx);
+  LeafGuard g;
+  PHOEBE_RETURN_IF_ERROR(tree_->FixLeaf(&sync, BTree::TableKey(rec->rid),
+                                        LatchMode::kExclusive, &g));
+  TableLeaf leaf(g.page(), &schema_, &layout_);
+  if (!leaf.InRange(rec->rid)) {
+    return Status::Corruption("rollback: leaf missing");
+  }
+  uint16_t slot = leaf.SlotOf(rec->rid);
+  TwinTable* twin = TwinTable::Of(g.frame());
+  if (twin == nullptr) return Status::Corruption("rollback: twin missing");
+  auto& entry = twin->entry(slot);
+
+  std::string old_row_for_index;
+  switch (rec->kind) {
+    case UndoKind::kInsert: {
+      PHOEBE_RETURN_IF_ERROR(leaf.ReadRow(slot, &old_row_for_index));
+      PHOEBE_RETURN_IF_ERROR(leaf.EraseRow(slot));
+      break;
+    }
+    case UndoKind::kUpdate: {
+      std::string cur;
+      PHOEBE_RETURN_IF_ERROR(leaf.ReadRow(slot, &cur));
+      Result<std::string> before =
+          DeltaCodec::ApplyDelta(schema_, cur, rec->delta());
+      if (!before.ok()) return before.status();
+      PHOEBE_RETURN_IF_ERROR(
+          leaf.UpdateRow(slot, RowView(&schema_, before.value().data())));
+      break;
+    }
+    case UndoKind::kDelete: {
+      PHOEBE_RETURN_IF_ERROR(leaf.SetDeleted(slot, false));
+      break;
+    }
+  }
+  // Unlink: an active transaction's record is always the chain head.
+  entry.head.store(rec->next.load(std::memory_order_acquire),
+                   std::memory_order_release);
+  g.frame()->dirty.store(true, std::memory_order_release);
+  uint64_t gsn = deps_->wal->OnPageWrite(txn, g.frame());
+  (void)gsn;
+  g.Release();
+
+  if (rec->kind == UndoKind::kInsert) {
+    // Remove the index entries added by the aborted insert.
+    RowView view(&schema_, old_row_for_index.data());
+    for (auto& idx : indexes_) {
+      Result<std::string> key =
+          EncodeKeyFromRow(schema_, idx->key_columns, view);
+      if (!key.ok()) return key.status();
+      PHOEBE_RETURN_IF_ERROR(
+          IndexRemoveEntry(&sync, *idx, key.value(), rec->rid));
+    }
+  }
+  return Status::OK();
+}
+
+void Table::OnUndoReclaimed(OpContext* ctx, const UndoRecord& rec) {
+  OpContext sync;
+  sync.InitSyncViewOf(*ctx);
+  sync.count_accesses = false;
+  if (rec.kind == UndoKind::kDelete) {
+    // Physically purge the tuple and its index entries (Section 7.3).
+    LeafGuard g;
+    Status st = tree_->FixLeaf(&sync, BTree::TableKey(rec.rid),
+                               LatchMode::kExclusive, &g);
+    if (!st.ok()) return;
+    TableLeaf leaf(g.page(), &schema_, &layout_);
+    if (!leaf.InRange(rec.rid)) return;
+    uint16_t slot = leaf.SlotOf(rec.rid);
+    if (!leaf.IsLive(slot) || !leaf.IsDeleted(slot)) return;
+    std::string row;
+    if (!leaf.ReadRow(slot, &row).ok()) return;
+    if (!leaf.EraseRow(slot).ok()) return;
+    g.frame()->dirty.store(true, std::memory_order_release);
+    g.Release();
+    RowView view(&schema_, row.data());
+    for (auto& idx : indexes_) {
+      Result<std::string> key =
+          EncodeKeyFromRow(schema_, idx->key_columns, view);
+      if (key.ok()) {
+        (void)IndexRemoveEntry(&sync, *idx, key.value(), rec.rid);
+      }
+    }
+  } else if (rec.kind == UndoKind::kUpdate) {
+    // Stale index entries after key-changing updates: the before values of
+    // key columns live in the delta.
+    Result<std::vector<uint32_t>> touched =
+        DeltaCodec::TouchedColumns(schema_, rec.delta());
+    if (!touched.ok()) return;
+    for (auto& idx : indexes_) {
+      bool affects = false;
+      for (uint32_t c : idx->key_columns) {
+        if (std::find(touched.value().begin(), touched.value().end(), c) !=
+            touched.value().end()) {
+          affects = true;
+          break;
+        }
+      }
+      if (!affects) continue;
+      // Reconstruct the before image from the current row + delta and drop
+      // its (now stale) entry.
+      std::string cur;
+      {
+        LeafGuard g;
+        Status st = tree_->FixLeaf(&sync, BTree::TableKey(rec.rid),
+                                   LatchMode::kShared, &g);
+        if (!st.ok()) return;
+        TableLeaf leaf(g.page(), &schema_, &layout_);
+        if (!leaf.InRange(rec.rid)) return;
+        uint16_t slot = leaf.SlotOf(rec.rid);
+        if (!leaf.IsLive(slot)) return;
+        if (!leaf.ReadRow(slot, &cur).ok()) return;
+      }
+      Result<std::string> before =
+          DeltaCodec::ApplyDelta(schema_, cur, rec.delta());
+      if (!before.ok()) return;
+      RowView before_view(&schema_, before.value().data());
+      Result<std::string> old_key =
+          EncodeKeyFromRow(schema_, idx->key_columns, before_view);
+      RowView cur_view(&schema_, cur.data());
+      Result<std::string> cur_key =
+          EncodeKeyFromRow(schema_, idx->key_columns, cur_view);
+      if (old_key.ok() && cur_key.ok() &&
+          old_key.value() != cur_key.value()) {
+        (void)IndexRemoveEntry(&sync, *idx, old_key.value(), rec.rid);
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Temperature exchange
+// ---------------------------------------------------------------------------
+
+Result<int> Table::FreezePass(OpContext* ctx, int max_leaves) {
+  OpContext sync;
+  sync.InitSyncViewOf(*ctx);
+  sync.count_accesses = false;
+  int frozen_count = 0;
+  const uint32_t epoch = deps_->pool->current_epoch();
+  const auto& opts = *deps_->options;
+
+  while (frozen_count < max_leaves) {
+    RowId start = frozen_->max_frozen_row_id() + 1;
+    std::vector<RowId> rids;
+    std::vector<std::string> rows;
+    bool eligible = false;
+    RowId range_end = 0;
+    {
+      LeafGuard g;
+      Status st = tree_->FixLeaf(&sync, BTree::TableKey(start),
+                                 LatchMode::kExclusive, &g);
+      if (!st.ok()) return Result<int>(st);
+      TableLeaf leaf(g.page(), &schema_, &layout_);
+      BufferFrame* frame = g.frame();
+      RowId leaf_end = leaf.first_row_id() + leaf.capacity();
+      bool is_tail =
+          leaf_end > next_row_id_.load(std::memory_order_relaxed);
+      if (leaf.first_row_id() == start && !is_tail &&
+          TwinTable::Of(frame) == nullptr &&
+          frame->access_count.load(std::memory_order_relaxed) <=
+              opts.freeze_access_threshold &&
+          frame->last_access_epoch.load(std::memory_order_relaxed) +
+                  opts.freeze_epoch_age <=
+              epoch) {
+        eligible = true;
+        range_end = leaf_end - 1;
+        for (uint16_t s = 0; s < leaf.capacity(); ++s) {
+          if (!leaf.IsLive(s) || leaf.IsDeleted(s)) continue;
+          std::string row;
+          st = leaf.ReadRow(s, &row);
+          if (!st.ok()) return Result<int>(st);
+          rids.push_back(leaf.first_row_id() + s);
+          rows.push_back(std::move(row));
+        }
+      }
+    }
+    if (!eligible) break;
+    PHOEBE_RETURN_IF_ERROR(frozen_->FreezeBlock(rids, rows, range_end));
+    Status st = tree_->DetachTableLeaf(&sync, start);
+    if (!st.ok() && !st.IsNotFound()) return Result<int>(st);
+    ++frozen_count;
+  }
+  return Result<int>(frozen_count);
+}
+
+Status Table::WarmRow(OpContext* ctx, Transaction* txn, RowId frozen_rid,
+                      RowId* new_rid, std::string* row_out) {
+  // Stale-block guard: if the row is live in the tree (a freeze raced a
+  // writer), the tree copy is authoritative — just tombstone the shadowed
+  // frozen copy and keep the existing rid.
+  {
+    LeafGuard g;
+    PHOEBE_RETURN_IF_ERROR(tree_->FixLeaf(ctx, BTree::TableKey(frozen_rid),
+                                          LatchMode::kShared, &g));
+    TableLeaf leaf(g.page(), &schema_, &layout_);
+    if (leaf.InRange(frozen_rid) && leaf.IsLive(leaf.SlotOf(frozen_rid))) {
+      g.Release();
+      frozen_->MarkDeleted(frozen_rid);
+      *new_rid = frozen_rid;
+      if (row_out != nullptr) row_out->clear();
+      return Status::OK();
+    }
+  }
+  std::string row;
+  Status st = frozen_->ReadRow(frozen_rid, &row);
+  if (!st.ok()) return st;
+  frozen_->MarkDeleted(frozen_rid);
+  // Log the tombstone so recovery re-marks it (the tree copy of the row is
+  // resurrected by replay and must end up deleted).
+  WalWriter& w = deps_->wal->WriterFor(txn->slot_id());
+  w.RaiseGsn(w.LoadGsn() + 1);
+  deps_->wal->LogData(txn, WalRecordType::kDelete, w.LoadGsn(),
+                      WalRecordCodec::DataPayload(id_, frozen_rid, Slice()));
+  // Replace index entries: old rid out, new rid in (done inside Insert).
+  RowView view(&schema_, row.data());
+  for (auto& idx : indexes_) {
+    Result<std::string> key =
+        EncodeKeyFromRow(schema_, idx->key_columns, view);
+    if (!key.ok()) return key.status();
+    PHOEBE_RETURN_IF_ERROR(IndexRemoveEntry(ctx, *idx, key.value(),
+                                            frozen_rid));
+  }
+  RowId rid = 0;
+  PHOEBE_RETURN_IF_ERROR(Insert(ctx, txn, row, &rid));
+  *new_rid = rid;
+  if (row_out != nullptr) *row_out = std::move(row);
+  return Status::OK();
+}
+
+Status Table::WarmPass(OpContext* ctx, Transaction* txn, size_t max_rows) {
+  OpContext sync;
+  sync.InitSyncViewOf(*ctx);
+  std::vector<RowId> hot =
+      frozen_->HotFrozenRows(deps_->options->warm_read_threshold, max_rows);
+  for (RowId rid : hot) {
+    RowId new_rid = 0;
+    Status st = WarmRow(&sync, txn, rid, &new_rid, nullptr);
+    if (st.IsNotFound()) continue;
+    PHOEBE_RETURN_IF_ERROR(st);
+  }
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// Recovery appliers
+// ---------------------------------------------------------------------------
+
+Status Table::ReplayInsert(OpContext* ctx, RowId rid, Slice row) {
+  BumpNextRowId(rid + 1);
+  for (;;) {
+    LeafGuard g;
+    PHOEBE_RETURN_IF_ERROR(tree_->FixLeaf(ctx, BTree::TableKey(rid),
+                                          LatchMode::kExclusive, &g));
+    TableLeaf leaf(g.page(), &schema_, &layout_);
+    if (!leaf.InRange(rid)) {
+      g.Release();
+      PHOEBE_RETURN_IF_ERROR(tree_->AppendTableLeaf(ctx, rid));
+      continue;
+    }
+    uint16_t slot = leaf.SlotOf(rid);
+    if (!leaf.IsLive(slot)) {
+      PHOEBE_RETURN_IF_ERROR(
+          leaf.InsertRow(slot, RowView(&schema_, row.data())));
+      g.frame()->dirty.store(true, std::memory_order_release);
+    }
+    break;
+  }
+  RowView view(&schema_, row.data());
+  for (auto& idx : indexes_) {
+    Result<std::string> key = EncodeKeyFromRow(schema_, idx->key_columns, view);
+    if (!key.ok()) return key.status();
+    std::string entry_key = IndexEntryKey(*idx, key.value(), rid);
+    Status st = idx->tree->IndexInsert(ctx, entry_key, rid);
+    if (!st.ok() && !st.IsKeyExists()) return st;
+  }
+  return Status::OK();
+}
+
+Status Table::ReplayUpdate(OpContext* ctx, RowId rid, Slice after_delta) {
+  LeafGuard g;
+  PHOEBE_RETURN_IF_ERROR(
+      tree_->FixLeaf(ctx, BTree::TableKey(rid), LatchMode::kExclusive, &g));
+  TableLeaf leaf(g.page(), &schema_, &layout_);
+  uint16_t slot;
+  if (!leaf.InRange(rid) || !leaf.IsLive(slot = leaf.SlotOf(rid))) {
+    return Status::OK();  // row purged later in history; ignore
+  }
+  std::string cur;
+  PHOEBE_RETURN_IF_ERROR(leaf.ReadRow(slot, &cur));
+  Result<std::string> next = DeltaCodec::ApplyDelta(schema_, cur, after_delta);
+  if (!next.ok()) return next.status();
+  PHOEBE_RETURN_IF_ERROR(
+      leaf.UpdateRow(slot, RowView(&schema_, next.value().data())));
+  g.frame()->dirty.store(true, std::memory_order_release);
+  g.Release();
+
+  // Key-changing updates: refresh index entries.
+  Result<std::vector<uint32_t>> touched =
+      DeltaCodec::TouchedColumns(schema_, after_delta);
+  if (!touched.ok()) return touched.status();
+  RowView old_view(&schema_, cur.data());
+  RowView new_view(&schema_, next.value().data());
+  for (auto& idx : indexes_) {
+    bool affects = false;
+    for (uint32_t c : idx->key_columns) {
+      if (std::find(touched.value().begin(), touched.value().end(), c) !=
+          touched.value().end()) {
+        affects = true;
+        break;
+      }
+    }
+    if (!affects) continue;
+    Result<std::string> old_key =
+        EncodeKeyFromRow(schema_, idx->key_columns, old_view);
+    Result<std::string> new_key =
+        EncodeKeyFromRow(schema_, idx->key_columns, new_view);
+    if (!old_key.ok() || !new_key.ok()) continue;
+    if (old_key.value() == new_key.value()) continue;
+    (void)IndexRemoveEntry(ctx, *idx, old_key.value(), rid);
+    std::string entry_key = IndexEntryKey(*idx, new_key.value(), rid);
+    Status st = idx->tree->IndexInsert(ctx, entry_key, rid);
+    if (!st.ok() && !st.IsKeyExists()) return st;
+  }
+  return Status::OK();
+}
+
+Status Table::ReplayDelete(OpContext* ctx, RowId rid) {
+  LeafGuard g;
+  PHOEBE_RETURN_IF_ERROR(
+      tree_->FixLeaf(ctx, BTree::TableKey(rid), LatchMode::kExclusive, &g));
+  TableLeaf leaf(g.page(), &schema_, &layout_);
+  uint16_t slot;
+  if (leaf.InRange(rid) && leaf.IsLive(slot = leaf.SlotOf(rid))) {
+    PHOEBE_RETURN_IF_ERROR(leaf.SetDeleted(slot, true));
+    g.frame()->dirty.store(true, std::memory_order_release);
+    return Status::OK();
+  }
+  g.Release();
+  // Row not in the tree: it was frozen before the checkpoint; tombstone it.
+  if (frozen_ != nullptr && rid <= frozen_->max_frozen_row_id()) {
+    frozen_->MarkDeleted(rid);
+  }
+  return Status::OK();
+}
+
+Status Table::DropStorage(OpContext* ctx) {
+  for (auto& idx : indexes_) {
+    PHOEBE_RETURN_IF_ERROR(idx->tree->Drop(ctx));
+  }
+  indexes_.clear();
+  PHOEBE_RETURN_IF_ERROR(tree_->Drop(ctx));
+  frozen_.reset();
+  return FrozenStore::Destroy(deps_->env, deps_->dir, name_);
+}
+
+Status Table::DropIndexAt(OpContext* ctx, size_t index_no) {
+  if (index_no >= indexes_.size()) {
+    return Status::NotFound("no such index");
+  }
+  PHOEBE_RETURN_IF_ERROR(indexes_[index_no]->tree->Drop(ctx));
+  indexes_.erase(indexes_.begin() + static_cast<long>(index_no));
+  return Status::OK();
+}
+
+Result<PageId> Table::Checkpoint(OpContext* ctx) {
+  PHOEBE_RETURN_IF_ERROR(frozen_->Checkpoint());
+  return tree_->Checkpoint(ctx);
+}
+
+}  // namespace phoebe

@@ -1,0 +1,60 @@
+#include "io/async_io.h"
+
+namespace phoebe {
+
+AsyncIoEngine::AsyncIoEngine(int num_io_threads) {
+  if (num_io_threads < 1) num_io_threads = 1;
+  threads_.reserve(static_cast<size_t>(num_io_threads));
+  for (int i = 0; i < num_io_threads; ++i) {
+    threads_.emplace_back([this] { IoThreadMain(); });
+  }
+}
+
+AsyncIoEngine::~AsyncIoEngine() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+void AsyncIoEngine::Submit(Request* req) {
+  req->state.store(ReqState::kPending, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    queue_.push_back(req);
+    depth_.fetch_add(1, std::memory_order_relaxed);
+  }
+  cv_.notify_one();
+}
+
+Status AsyncIoEngine::Wait(Request* req) {
+  while (!req->done()) {
+    std::this_thread::yield();
+  }
+  return req->result;
+}
+
+void AsyncIoEngine::IoThreadMain() {
+  for (;;) {
+    Request* req = nullptr;
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      cv_.wait(lk, [this] { return stop_ || !queue_.empty(); });
+      if (stop_ && queue_.empty()) return;
+      req = queue_.front();
+      queue_.pop_front();
+      depth_.fetch_sub(1, std::memory_order_relaxed);
+    }
+    req->state.store(ReqState::kInFlight, std::memory_order_relaxed);
+    if (req->op == Request::Op::kRead) {
+      req->result = req->file->ReadPage(req->page_id, req->buf);
+    } else {
+      req->result = req->file->WritePage(req->page_id, req->buf);
+    }
+    req->state.store(ReqState::kDone, std::memory_order_release);
+  }
+}
+
+}  // namespace phoebe

@@ -1,0 +1,36 @@
+#ifndef PHOEBE_IO_IO_STATS_H_
+#define PHOEBE_IO_IO_STATS_H_
+
+#include <atomic>
+#include <cstdint>
+
+namespace phoebe {
+
+/// Process-wide I/O counters, split into data-page and WAL traffic. The
+/// disk-throughput experiments (Exp 3 and Exp 4) sample these per second.
+struct IoStats {
+  std::atomic<uint64_t> data_bytes_read{0};
+  std::atomic<uint64_t> data_bytes_written{0};
+  std::atomic<uint64_t> data_reads{0};
+  std::atomic<uint64_t> data_writes{0};
+  std::atomic<uint64_t> wal_bytes_written{0};
+  std::atomic<uint64_t> wal_flushes{0};
+
+  static IoStats& Global() {
+    static IoStats* s = new IoStats();
+    return *s;
+  }
+
+  void Reset() {
+    data_bytes_read = 0;
+    data_bytes_written = 0;
+    data_reads = 0;
+    data_writes = 0;
+    wal_bytes_written = 0;
+    wal_flushes = 0;
+  }
+};
+
+}  // namespace phoebe
+
+#endif  // PHOEBE_IO_IO_STATS_H_

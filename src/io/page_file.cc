@@ -1,0 +1,58 @@
+#include "io/page_file.h"
+
+namespace phoebe {
+
+Result<std::unique_ptr<PageFile>> PageFile::Open(Env* env,
+                                                 const std::string& path,
+                                                 bool direct_io) {
+  Env::OpenOptions opts;
+  opts.create = true;
+  opts.direct_io = direct_io;
+  std::unique_ptr<File> file;
+  Status st = env->OpenFile(path, opts, &file);
+  if (!st.ok()) return Result<std::unique_ptr<PageFile>>(st);
+  uint64_t pages = file->Size() / kPageSize;
+  return Result<std::unique_ptr<PageFile>>(
+      std::unique_ptr<PageFile>(new PageFile(std::move(file), pages)));
+}
+
+Status PageFile::ReadPage(PageId id, char* buf) const {
+  if (throttle_ != nullptr) throttle_->Acquire(kPageSize);
+  size_t got = 0;
+  PHOEBE_RETURN_IF_ERROR(file_->Read(id * kPageSize, kPageSize, buf, &got));
+  if (got != kPageSize) {
+    return Status::Corruption("short page read at page " + std::to_string(id));
+  }
+  auto& stats = IoStats::Global();
+  stats.data_bytes_read.fetch_add(kPageSize, std::memory_order_relaxed);
+  stats.data_reads.fetch_add(1, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+Status PageFile::WritePage(PageId id, const char* buf) {
+  if (throttle_ != nullptr) throttle_->Acquire(kPageSize);
+  PHOEBE_RETURN_IF_ERROR(file_->Write(id * kPageSize, Slice(buf, kPageSize)));
+  auto& stats = IoStats::Global();
+  stats.data_bytes_written.fetch_add(kPageSize, std::memory_order_relaxed);
+  stats.data_writes.fetch_add(1, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+PageId PageFile::AllocatePage() {
+  {
+    std::lock_guard<std::mutex> lk(free_mu_);
+    if (!free_list_.empty()) {
+      PageId id = free_list_.back();
+      free_list_.pop_back();
+      return id;
+    }
+  }
+  return next_page_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void PageFile::FreePage(PageId id) {
+  std::lock_guard<std::mutex> lk(free_mu_);
+  free_list_.push_back(id);
+}
+
+}  // namespace phoebe

@@ -1,0 +1,63 @@
+#ifndef PHOEBE_IO_PAGE_FILE_H_
+#define PHOEBE_IO_PAGE_FILE_H_
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/constants.h"
+#include "common/status.h"
+#include "io/env.h"
+#include "io/io_stats.h"
+#include "io/throttle.h"
+
+namespace phoebe {
+
+/// A file of fixed-size (kPageSize) pages: the on-disk Data Page File of
+/// Section 5.1. Pages are addressed by PageId; freed pages are recycled via
+/// an in-memory free list (persisted state is reconstructed at recovery from
+/// the B-Tree, so the free list is best-effort).
+class PageFile {
+ public:
+  /// Opens (creating if needed) the page file at `path`.
+  static Result<std::unique_ptr<PageFile>> Open(Env* env,
+                                                const std::string& path,
+                                                bool direct_io = false);
+
+  /// Reads page `id` into `buf` (must hold kPageSize bytes).
+  Status ReadPage(PageId id, char* buf) const;
+
+  /// Writes page `id` from `buf` (kPageSize bytes).
+  Status WritePage(PageId id, const char* buf);
+
+  /// Allocates a fresh page id (recycling freed ids when available).
+  PageId AllocatePage();
+
+  /// Returns page `id` to the free list.
+  void FreePage(PageId id);
+
+  Status Sync() { return file_->Sync(); }
+
+  uint64_t num_pages() const {
+    return next_page_.load(std::memory_order_relaxed);
+  }
+
+  /// Optional bandwidth throttle applied to reads and writes (Exp 9).
+  void set_throttle(BandwidthThrottle* throttle) { throttle_ = throttle; }
+
+ private:
+  PageFile(std::unique_ptr<File> file, uint64_t existing_pages)
+      : file_(std::move(file)), next_page_(existing_pages) {}
+
+  std::unique_ptr<File> file_;
+  std::atomic<uint64_t> next_page_;
+  std::mutex free_mu_;
+  std::vector<PageId> free_list_;
+  BandwidthThrottle* throttle_ = nullptr;
+};
+
+}  // namespace phoebe
+
+#endif  // PHOEBE_IO_PAGE_FILE_H_

@@ -1,0 +1,72 @@
+#ifndef PHOEBE_IO_THROTTLE_H_
+#define PHOEBE_IO_THROTTLE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+
+#include "common/clock.h"
+
+namespace phoebe {
+
+/// Token-bucket bandwidth throttle. Used by the Exp 9 O-DB stand-in to model
+/// an I/O-bandwidth-bound commercial system (the paper observes O-DB capped
+/// at ~77% CPU by disk bandwidth). A zero bytes_per_second disables it.
+class BandwidthThrottle {
+ public:
+  explicit BandwidthThrottle(uint64_t bytes_per_second = 0)
+      : rate_(bytes_per_second),
+        tokens_(bytes_per_second),
+        last_refill_ns_(NowNanos()) {}
+
+  void set_rate(uint64_t bytes_per_second) {
+    rate_.store(bytes_per_second, std::memory_order_relaxed);
+  }
+  uint64_t rate() const { return rate_.load(std::memory_order_relaxed); }
+
+  /// Blocks (sleeping) until `bytes` of budget is available. No-op if the
+  /// throttle is disabled.
+  void Acquire(uint64_t bytes) {
+    uint64_t r = rate_.load(std::memory_order_relaxed);
+    if (r == 0) return;
+    for (;;) {
+      Refill(r);
+      int64_t cur = tokens_.load(std::memory_order_relaxed);
+      if (cur >= static_cast<int64_t>(bytes)) {
+        if (tokens_.compare_exchange_weak(cur,
+                                          cur - static_cast<int64_t>(bytes),
+                                          std::memory_order_relaxed)) {
+          return;
+        }
+        continue;
+      }
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+  }
+
+ private:
+  void Refill(uint64_t rate) {
+    uint64_t now = NowNanos();
+    uint64_t last = last_refill_ns_.load(std::memory_order_relaxed);
+    if (now <= last) return;
+    if (!last_refill_ns_.compare_exchange_strong(last, now,
+                                                 std::memory_order_relaxed)) {
+      return;  // another thread refilled
+    }
+    double add = static_cast<double>(now - last) * 1e-9 *
+                 static_cast<double>(rate);
+    int64_t cap = static_cast<int64_t>(rate);  // burst of at most 1 second
+    int64_t cur = tokens_.load(std::memory_order_relaxed);
+    int64_t next = cur + static_cast<int64_t>(add);
+    if (next > cap) next = cap;
+    tokens_.store(next, std::memory_order_relaxed);
+  }
+
+  std::atomic<uint64_t> rate_;
+  std::atomic<int64_t> tokens_;
+  std::atomic<uint64_t> last_refill_ns_;
+};
+
+}  // namespace phoebe
+
+#endif  // PHOEBE_IO_THROTTLE_H_

@@ -1,0 +1,30 @@
+#ifndef PHOEBE_PHOEBE_H_
+#define PHOEBE_PHOEBE_H_
+
+/// PhoebeDB umbrella header: everything a typical embedder needs.
+///
+///   #include "phoebe.h"
+///
+///   phoebe::DatabaseOptions options;
+///   options.path = "/data/mydb";
+///   auto db = phoebe::Database::Open(options).value();
+///   ...
+///
+/// See README.md for the quickstart and examples/ for runnable scenarios.
+
+#include "core/database.h"     // Database, Table, DatabaseOptions
+#include "core/options.h"
+#include "runtime/scheduler.h" // coroutine-pool runtime
+#include "runtime/task.h"      // TxnTask, YieldWait
+#include "storage/schema.h"    // Schema, RowBuilder, RowView, Value
+
+namespace phoebe {
+
+/// Library version.
+inline constexpr int kVersionMajor = 1;
+inline constexpr int kVersionMinor = 0;
+inline constexpr const char* kVersionString = "1.0.0";
+
+}  // namespace phoebe
+
+#endif  // PHOEBE_PHOEBE_H_

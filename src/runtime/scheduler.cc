@@ -1,0 +1,197 @@
+#include "runtime/scheduler.h"
+
+#ifdef __linux__
+#include <pthread.h>
+#include <sched.h>
+#endif
+
+namespace phoebe {
+
+Scheduler::Scheduler(const Options& options, Hooks hooks)
+    : options_(options), hooks_(std::move(hooks)) {}
+
+Scheduler::~Scheduler() { Stop(); }
+
+void Scheduler::Start() {
+  if (started_.exchange(true)) return;
+  threads_.reserve(options_.workers);
+  for (uint32_t w = 0; w < options_.workers; ++w) {
+    threads_.emplace_back([this, w] { WorkerMain(w); });
+  }
+}
+
+void Scheduler::Stop() {
+  {
+    std::lock_guard<std::mutex> lk(queue_mu_);
+    if (stopping_) return;
+    stopping_ = true;
+  }
+  queue_cv_.notify_all();
+  space_cv_.notify_all();
+  for (auto& t : threads_) t.join();
+  threads_.clear();
+}
+
+void Scheduler::Submit(TaskFn fn) {
+  std::unique_lock<std::mutex> lk(queue_mu_);
+  space_cv_.wait(lk, [this] {
+    return stopping_ || queue_.size() < 2ull * total_slots();
+  });
+  if (stopping_) return;
+  queue_.push_back(std::move(fn));
+  queue_cv_.notify_one();
+}
+
+bool Scheduler::TrySubmit(TaskFn fn) {
+  std::lock_guard<std::mutex> lk(queue_mu_);
+  if (stopping_ || queue_.size() >= 2ull * total_slots()) return false;
+  queue_.push_back(std::move(fn));
+  queue_cv_.notify_one();
+  return true;
+}
+
+bool Scheduler::ResumeSlot(Slot& slot) {
+  slot.task.Resume();
+  if (slot.task.done()) {
+    if (slot.task.result().ok()) {
+      committed_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      aborted_.fetch_add(1, std::memory_order_relaxed);
+    }
+    completed_.fetch_add(1, std::memory_order_relaxed);
+    slot.task = TxnTask();
+    slot.state = SlotState::kEmpty;
+    return true;
+  }
+  switch (slot.task.wait_kind()) {
+    case WaitKind::kAsyncRead:
+      slot.state = SlotState::kWaitIo;
+      break;
+    case WaitKind::kXidLock:
+      slot.state = SlotState::kWaitXid;
+      break;
+    case WaitKind::kCommitFlush:
+      slot.state = SlotState::kWaitFlush;
+      break;
+    case WaitKind::kLatch:
+    case WaitKind::kNone:
+    default:
+      slot.state = SlotState::kReady;
+      break;
+  }
+  return false;
+}
+
+void Scheduler::WorkerMain(uint32_t worker_id) {
+#ifdef __linux__
+  if (options_.pin_workers) {
+    cpu_set_t set;
+    CPU_ZERO(&set);
+    CPU_SET(worker_id % std::thread::hardware_concurrency(), &set);
+    pthread_setaffinity_np(pthread_self(), sizeof(set), &set);
+  }
+#endif
+  const uint32_t nslots = options_.slots_per_worker;
+  std::vector<Slot> slots(nslots);
+  for (uint32_t i = 0; i < nslots; ++i) {
+    slots[i].env.worker_id = worker_id;
+    slots[i].env.global_slot_id = worker_id * nslots + i;
+    slots[i].env.ctx.partition = worker_id;
+    slots[i].env.ctx.synchronous = false;
+    slots[i].env.ctx.rng = Random(0x5EED0000 + slots[i].env.global_slot_id);
+  }
+
+  uint64_t local_completed = 0;
+  uint64_t last_gc_at = 0;
+  uint64_t idle_spins = 0;
+
+  for (;;) {
+    bool any_active = false;
+    bool high_urgency_pending = false;
+    bool progressed = false;
+
+    // Pass 1: resume runnable tasks.
+    for (auto& slot : slots) {
+      switch (slot.state) {
+        case SlotState::kEmpty:
+          continue;
+        case SlotState::kReady:
+          if (ResumeSlot(slot)) ++local_completed;
+          progressed = true;
+          break;
+        case SlotState::kWaitIo:
+          if (slot.env.ctx.load.active && slot.env.ctx.load.req.done()) {
+            if (ResumeSlot(slot)) ++local_completed;
+            progressed = true;
+          } else {
+            high_urgency_pending = true;
+          }
+          break;
+        case SlotState::kWaitXid:
+        case SlotState::kWaitFlush:
+          // Low urgency: poll by resuming; the task re-checks its condition
+          // and yields again if still blocked (cheap: one virtual hop).
+          if (ResumeSlot(slot)) {
+            ++local_completed;
+            progressed = true;
+          }
+          break;
+      }
+      if (slot.state != SlotState::kEmpty) any_active = true;
+    }
+
+    // Pass 2: pull new tasks when slots are vacant and no high-urgency
+    // work is being starved (the pull-based policy of Section 7.1).
+    if (!high_urgency_pending) {
+      for (auto& slot : slots) {
+        if (slot.state != SlotState::kEmpty) continue;
+        TaskFn fn;
+        {
+          std::lock_guard<std::mutex> lk(queue_mu_);
+          if (queue_.empty()) break;
+          fn = std::move(queue_.front());
+          queue_.pop_front();
+        }
+        space_cv_.notify_one();
+        slot.task = fn(&slot.env);
+        slot.state = SlotState::kReady;
+        any_active = true;
+        progressed = true;
+      }
+    }
+
+    // Housekeeping: page swap for this worker's partition; GC for owned
+    // slots every N completed transactions; global sweep on worker 0.
+    if (hooks_.page_swap) hooks_.page_swap(worker_id, &slots[0].env.ctx);
+    if (local_completed - last_gc_at >= options_.gc_every_txns) {
+      last_gc_at = local_completed;
+      if (hooks_.run_gc) {
+        for (uint32_t i = 0; i < nslots; ++i) {
+          hooks_.run_gc(worker_id * nslots + i);
+        }
+      }
+      if (worker_id == 0 && hooks_.sweep) hooks_.sweep();
+    }
+
+    if (!any_active) {
+      std::unique_lock<std::mutex> lk(queue_mu_);
+      if (stopping_ && queue_.empty()) return;
+      queue_cv_.wait_for(lk, std::chrono::microseconds(200), [this] {
+        return stopping_ || !queue_.empty();
+      });
+    } else if (!progressed) {
+      if (++idle_spins > 64) {
+        idle_spins = 0;
+        std::this_thread::yield();
+      }
+    } else {
+      idle_spins = 0;
+    }
+    if (stopping_ && !any_active) {
+      std::lock_guard<std::mutex> lk(queue_mu_);
+      if (queue_.empty()) return;
+    }
+  }
+}
+
+}  // namespace phoebe

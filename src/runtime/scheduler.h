@@ -1,0 +1,130 @@
+#ifndef PHOEBE_RUNTIME_SCHEDULER_H_
+#define PHOEBE_RUNTIME_SCHEDULER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+#include "runtime/task.h"
+#include "storage/op_context.h"
+
+namespace phoebe {
+
+/// Per-task execution environment: the slot's OpContext plus identities.
+/// global_slot_id doubles as the WAL-writer id and UNDO-arena id.
+struct TaskEnv {
+  OpContext ctx;
+  uint32_t global_slot_id = 0;
+  uint32_t worker_id = 0;
+};
+
+/// A transaction closure: invoked once on a free task slot, producing the
+/// coroutine to drive.
+using TaskFn = std::function<TxnTask(TaskEnv*)>;
+
+/// The co-routine pool runtime with the pull-based smart scheduler
+/// (Section 7.1):
+///   - worker threads each own a fixed number of task slots;
+///   - transactions are submitted to a global task queue; workers *pull*
+///     new tasks only when slots are vacant;
+///   - yields are classified by urgency: high (latch spins, async reads)
+///     pauses new-task intake until drained; low (tuple/XID locks, commit
+///     flush waits) does not block pulling;
+///   - per-worker housekeeping hooks run page swaps (own buffer partition)
+///     and GC (own slots' UNDO arenas) — Section 7.1's dedicated slots.
+class Scheduler {
+ public:
+  struct Options {
+    uint32_t workers = 4;
+    uint32_t slots_per_worker = 8;
+    bool pin_workers = false;   // CPU affinity (workload affinity in Exp 1)
+    /// Run GC housekeeping every N completed transactions per worker.
+    uint32_t gc_every_txns = 64;
+  };
+
+  struct Hooks {
+    /// Page-swap housekeeping for the worker's buffer partition.
+    std::function<void(uint32_t worker_id, OpContext* ctx)> page_swap;
+    /// UNDO GC for one global slot.
+    std::function<void(uint32_t global_slot_id)> run_gc;
+    /// Periodic global sweep (twin tables, epoch advance); worker 0 only.
+    std::function<void()> sweep;
+  };
+
+  Scheduler(const Options& options, Hooks hooks);
+  ~Scheduler();
+
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  /// Starts the worker threads.
+  void Start();
+
+  /// Stops accepting work, drains running tasks, joins workers.
+  void Stop();
+
+  /// Enqueues a transaction closure. Applies backpressure: blocks while the
+  /// queue holds more than 2x total slots.
+  void Submit(TaskFn fn);
+
+  /// Non-blocking submit; false when the queue is saturated.
+  bool TrySubmit(TaskFn fn);
+
+  uint64_t completed() const {
+    return completed_.load(std::memory_order_relaxed);
+  }
+  uint64_t committed() const {
+    return committed_.load(std::memory_order_relaxed);
+  }
+  uint64_t aborted() const {
+    return aborted_.load(std::memory_order_relaxed);
+  }
+  uint32_t total_slots() const {
+    return options_.workers * options_.slots_per_worker;
+  }
+  const Options& options() const { return options_; }
+
+ private:
+  enum class SlotState : uint8_t {
+    kEmpty = 0,
+    kReady = 1,     // resume on next pass
+    kWaitIo = 2,    // resume when ctx.load completes (high urgency)
+    kWaitXid = 3,   // resume on poll; low urgency
+    kWaitFlush = 4, // commit flush poll; low urgency
+  };
+
+  struct Slot {
+    TxnTask task;
+    TaskEnv env;
+    SlotState state = SlotState::kEmpty;
+  };
+
+  void WorkerMain(uint32_t worker_id);
+  /// Resumes the slot's task; returns true if the task completed.
+  bool ResumeSlot(Slot& slot);
+
+  Options options_;
+  Hooks hooks_;
+
+  std::mutex queue_mu_;
+  std::condition_variable queue_cv_;
+  std::condition_variable space_cv_;
+  std::deque<TaskFn> queue_;
+  bool stopping_ = false;
+
+  std::vector<std::thread> threads_;
+  std::atomic<uint64_t> completed_{0};
+  std::atomic<uint64_t> committed_{0};
+  std::atomic<uint64_t> aborted_{0};
+  std::atomic<bool> started_{false};
+};
+
+}  // namespace phoebe
+
+#endif  // PHOEBE_RUNTIME_SCHEDULER_H_

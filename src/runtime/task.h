@@ -1,0 +1,108 @@
+#ifndef PHOEBE_RUNTIME_TASK_H_
+#define PHOEBE_RUNTIME_TASK_H_
+
+#include <coroutine>
+#include <cstdint>
+#include <exception>
+#include <utility>
+
+#include "common/status.h"
+
+namespace phoebe {
+
+/// A transaction coroutine (Section 7.1): the execution unit of PhoebeDB's
+/// co-routine pool. A task runs on a task slot, yields to the scheduler when
+/// an engine operation reports kBlocked (latch spin, async page read, XID
+/// lock, commit flush), and co_returns its final Status.
+///
+/// WARNING: do not write coroutine *lambdas* that outlive their lambda
+/// object — captures live in the lambda, not the coroutine frame. Task
+/// factories (TaskFn) must be plain lambdas that *call* a parameterized
+/// coroutine function (as the TPC-C procedures do).
+class TxnTask {
+ public:
+  struct promise_type {
+    /// Wait descriptor published by the most recent yield.
+    WaitKind wait_kind = WaitKind::kNone;
+    uint64_t wait_xid = 0;
+    Status result;
+
+    TxnTask get_return_object() {
+      return TxnTask(
+          std::coroutine_handle<promise_type>::from_promise(*this));
+    }
+    std::suspend_always initial_suspend() noexcept { return {}; }
+    std::suspend_always final_suspend() noexcept { return {}; }
+    void return_value(Status s) { result = std::move(s); }
+    void unhandled_exception() { std::terminate(); }  // no-exceptions policy
+  };
+
+  TxnTask() = default;
+  explicit TxnTask(std::coroutine_handle<promise_type> h) : h_(h) {}
+  TxnTask(TxnTask&& o) noexcept : h_(std::exchange(o.h_, nullptr)) {}
+  TxnTask& operator=(TxnTask&& o) noexcept {
+    Destroy();
+    h_ = std::exchange(o.h_, nullptr);
+    return *this;
+  }
+  TxnTask(const TxnTask&) = delete;
+  TxnTask& operator=(const TxnTask&) = delete;
+  ~TxnTask() { Destroy(); }
+
+  bool valid() const { return h_ != nullptr; }
+  bool done() const { return h_.done(); }
+  void Resume() { h_.resume(); }
+
+  WaitKind wait_kind() const { return h_.promise().wait_kind; }
+  uint64_t wait_xid() const { return h_.promise().wait_xid; }
+  const Status& result() const { return h_.promise().result; }
+
+  /// Runs the task to completion on the calling thread (thread execution
+  /// model, Exp 6, and synchronous helpers). Any yields simply spin-resume.
+  Status RunToCompletion() {
+    while (!done()) Resume();
+    return result();
+  }
+
+ private:
+  void Destroy() {
+    if (h_) {
+      h_.destroy();
+      h_ = nullptr;
+    }
+  }
+  std::coroutine_handle<promise_type> h_ = nullptr;
+};
+
+/// Awaitable that parks the coroutine with the wait descriptor of a blocked
+/// Status: `co_await YieldWait(st);`
+struct YieldWait {
+  WaitKind kind;
+  uint64_t xid;
+
+  explicit YieldWait(const Status& blocked)
+      : kind(blocked.wait_kind()), xid(blocked.wait_xid()) {}
+  YieldWait(WaitKind k, uint64_t x) : kind(k), xid(x) {}
+
+  bool await_ready() const noexcept { return false; }
+  void await_suspend(
+      std::coroutine_handle<TxnTask::promise_type> h) const noexcept {
+    h.promise().wait_kind = kind;
+    h.promise().wait_xid = xid;
+  }
+  void await_resume() const noexcept {}
+};
+
+/// Retry helper: evaluates `expr` until it stops reporting kBlocked,
+/// yielding to the scheduler between attempts. Usable only inside TxnTask
+/// coroutines; `st` must be a declared Status lvalue.
+#define PHOEBE_CO_AWAIT(st, expr)                  \
+  for (;;) {                                       \
+    (st) = (expr);                                 \
+    if (!(st).IsBlocked()) break;                  \
+    co_await ::phoebe::YieldWait((st));            \
+  }
+
+}  // namespace phoebe
+
+#endif  // PHOEBE_RUNTIME_TASK_H_

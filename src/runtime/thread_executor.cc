@@ -1,0 +1,80 @@
+#include "runtime/thread_executor.h"
+
+#ifdef __linux__
+#include <pthread.h>
+#include <sched.h>
+#endif
+
+namespace phoebe {
+
+void ThreadExecutor::Start() {
+  if (started_.exchange(true)) return;
+  threads_.reserve(options_.threads);
+  for (uint32_t i = 0; i < options_.threads; ++i) {
+    threads_.emplace_back([this, i] { ThreadMain(i); });
+  }
+}
+
+void ThreadExecutor::Stop() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (stopping_) return;
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  space_cv_.notify_all();
+  for (auto& t : threads_) t.join();
+  threads_.clear();
+}
+
+void ThreadExecutor::Submit(TaskFn fn) {
+  std::unique_lock<std::mutex> lk(mu_);
+  space_cv_.wait(lk, [this] {
+    return stopping_ || queue_.size() < 2ull * options_.threads;
+  });
+  if (stopping_) return;
+  queue_.push_back(std::move(fn));
+  cv_.notify_one();
+}
+
+void ThreadExecutor::ThreadMain(uint32_t id) {
+#ifdef __linux__
+  if (options_.pin_threads) {
+    cpu_set_t set;
+    CPU_ZERO(&set);
+    CPU_SET(id % std::thread::hardware_concurrency(), &set);
+    pthread_setaffinity_np(pthread_self(), sizeof(set), &set);
+  }
+#endif
+  TaskEnv env;
+  env.worker_id = id;
+  env.global_slot_id = id;  // one slot per thread in the thread model
+  env.ctx.partition = id;
+  env.ctx.synchronous = true;
+  env.ctx.rng = Random(0x7EED0000 + id);
+
+  for (;;) {
+    TaskFn fn;
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      cv_.wait(lk, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        if (stopping_) return;
+        continue;
+      }
+      fn = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    space_cv_.notify_one();
+    TxnTask task = fn(&env);
+    Status st = task.RunToCompletion();
+    if (st.ok()) {
+      committed_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      aborted_.fetch_add(1, std::memory_order_relaxed);
+    }
+    completed_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+}  // namespace phoebe

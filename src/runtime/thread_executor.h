@@ -1,0 +1,62 @@
+#ifndef PHOEBE_RUNTIME_THREAD_EXECUTOR_H_
+#define PHOEBE_RUNTIME_THREAD_EXECUTOR_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "runtime/scheduler.h"
+
+namespace phoebe {
+
+/// Thread execution model used as the Exp 6 baseline: one OS thread per task
+/// slot, each transaction running to completion with blocking waits
+/// (synchronous OpContext). Same TaskFn interface as Scheduler, so the TPC-C
+/// driver can switch models with a flag.
+class ThreadExecutor {
+ public:
+  struct Options {
+    uint32_t threads = 32;
+    bool pin_threads = false;
+  };
+
+  explicit ThreadExecutor(const Options& options) : options_(options) {}
+  ~ThreadExecutor() { Stop(); }
+
+  void Start();
+  void Stop();
+
+  void Submit(TaskFn fn);
+
+  uint64_t completed() const {
+    return completed_.load(std::memory_order_relaxed);
+  }
+  uint64_t committed() const {
+    return committed_.load(std::memory_order_relaxed);
+  }
+  uint64_t aborted() const {
+    return aborted_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void ThreadMain(uint32_t id);
+
+  Options options_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::condition_variable space_cv_;
+  std::deque<TaskFn> queue_;
+  bool stopping_ = false;
+  std::vector<std::thread> threads_;
+  std::atomic<uint64_t> completed_{0};
+  std::atomic<uint64_t> committed_{0};
+  std::atomic<uint64_t> aborted_{0};
+  std::atomic<bool> started_{false};
+};
+
+}  // namespace phoebe
+
+#endif  // PHOEBE_RUNTIME_THREAD_EXECUTOR_H_

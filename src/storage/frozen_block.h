@@ -1,0 +1,65 @@
+#ifndef PHOEBE_STORAGE_FROZEN_BLOCK_H_
+#define PHOEBE_STORAGE_FROZEN_BLOCK_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/constants.h"
+#include "common/status.h"
+#include "storage/schema.h"
+
+namespace phoebe {
+
+/// Column-wise compressed data block codec for the frozen storage layer
+/// (Section 5.2: frozen pages use a compressed data block format serving
+/// OLAP workloads; out-of-place updates avoid decompress/recompress cycles).
+///
+/// Block format (all little-endian):
+///   [u32 magic][u32 payload_size][u64 first_row_id][u32 row_count]
+///   [row-id stream: varint deltas]
+///   per column:
+///     [null bitmap: ceil(n/8) bytes]
+///     int32/int64: frame-of-reference (varint64 min, zigzag varint deltas)
+///     double:      raw 8-byte values
+///     string:      varint lengths + concatenated bytes
+///   [u32 masked crc32c over everything after the size field]
+class FrozenBlockCodec {
+ public:
+  static constexpr uint32_t kMagic = 0xF07EB10Cu;
+
+  struct DecodedBlock {
+    RowId first_row_id = 0;
+    std::vector<RowId> row_ids;
+    /// Encoded rows (standard row format), parallel to row_ids.
+    std::vector<std::string> rows;
+
+    /// Binary search for `rid`; returns -1 if absent.
+    int Find(RowId rid) const;
+  };
+
+  /// Encodes live rows (sorted by row id) into a block.
+  static Result<std::string> Encode(const Schema& schema,
+                                    const std::vector<RowId>& row_ids,
+                                    const std::vector<std::string>& rows);
+
+  /// Decodes a block; verifies the checksum.
+  static Result<DecodedBlock> Decode(const Schema& schema, Slice block);
+
+  /// Columnar projection: decodes ONLY integer column `col` (kInt32 or
+  /// kInt64), streaming (row_id, value) pairs without materializing rows —
+  /// the HTAP fast path PAX/frozen blocks exist for. Null values are
+  /// skipped. `cb` returns false to stop early.
+  static Status DecodeColumnInt64(
+      const Schema& schema, Slice block, uint32_t col,
+      const std::function<bool(RowId, int64_t)>& cb);
+
+  /// Same for a kDouble column.
+  static Status DecodeColumnDouble(
+      const Schema& schema, Slice block, uint32_t col,
+      const std::function<bool(RowId, double)>& cb);
+};
+
+}  // namespace phoebe
+
+#endif  // PHOEBE_STORAGE_FROZEN_BLOCK_H_

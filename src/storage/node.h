@@ -1,0 +1,383 @@
+#ifndef PHOEBE_STORAGE_NODE_H_
+#define PHOEBE_STORAGE_NODE_H_
+
+#include <cassert>
+#include <cstdint>
+#include <cstring>
+
+#include "buffer/swip.h"
+#include "common/constants.h"
+#include "common/slice.h"
+
+namespace phoebe {
+
+/// Node kinds stored in the first byte of every page.
+enum class NodeKind : uint8_t {
+  kInner = 1,
+  kIndexLeaf = 2,
+  kTableLeaf = 3,
+};
+
+/// Maximum supported key length in index/inner nodes.
+inline constexpr size_t kMaxKeySize = 512;
+
+/// Common header at the start of every B-Tree page.
+struct NodeHeader {
+  uint8_t kind;
+  uint8_t pad0;
+  uint16_t count;      // separators (inner) / slots (index leaf)
+  uint16_t heap_used;  // bytes of key heap consumed at the page tail
+  uint16_t pad1;
+  /// Whole-page CRC32C stamped at write-back (this field zeroed during the
+  /// computation) and verified on every load: detects torn page writes and
+  /// on-disk corruption.
+  uint32_t crc;
+  uint32_t pad2;
+};
+static_assert(sizeof(NodeHeader) == 16);
+
+/// Byte offset of NodeHeader::crc within a page.
+inline constexpr size_t kPageCrcOffset = 8;
+
+inline NodeKind PageKind(const char* page) {
+  return static_cast<NodeKind>(static_cast<uint8_t>(page[0]));
+}
+
+/// Inner node: `count` separators with `count + 1` children.
+/// Child c_0 covers keys < sep[0]; c_{i+1} covers sep[i] <= key < sep[i+1].
+///
+/// Layout: [NodeHeader][leftmost child swip][slot array ->] ... [<- key heap]
+/// Each slot is 16 bytes {key_off, key_len, pad, child-swip word} so that the
+/// embedded swip word is 8-byte aligned.
+class InnerNode {
+ public:
+  struct Entry {
+    uint16_t key_off;
+    uint16_t key_len;
+    uint32_t pad;
+    uint64_t child;  // raw Swip word
+  };
+  static_assert(sizeof(Entry) == 16);
+
+  static InnerNode* Cast(char* page) {
+    return reinterpret_cast<InnerNode*>(page);
+  }
+  static const InnerNode* Cast(const char* page) {
+    return reinterpret_cast<const InnerNode*>(page);
+  }
+
+  /// Initializes an empty inner node with a single (leftmost) child.
+  static InnerNode* Init(char* page, uint64_t leftmost_child_raw) {
+    memset(page, 0, sizeof(NodeHeader) + sizeof(uint64_t));
+    auto* n = Cast(page);
+    n->hdr_.kind = static_cast<uint8_t>(NodeKind::kInner);
+    n->hdr_.count = 0;
+    n->hdr_.heap_used = 0;
+    n->leftmost_ = leftmost_child_raw;
+    return n;
+  }
+
+  uint16_t count() const { return hdr_.count; }
+  uint16_t num_children() const { return hdr_.count + 1; }
+
+  Slice KeyAt(uint16_t i) const {
+    const Entry& e = SlotsConst()[i];
+    return Slice(Page() + e.key_off, e.key_len);
+  }
+
+  /// Swip of child `i` (0 <= i <= count).
+  Swip* ChildAt(uint16_t i) {
+    if (i == 0) return reinterpret_cast<Swip*>(&leftmost_);
+    return reinterpret_cast<Swip*>(&Slots()[i - 1].child);
+  }
+
+  /// Index of the child covering `key`.
+  uint16_t FindChild(const Slice& key) const {
+    // Number of separators <= key.
+    uint16_t lo = 0, hi = hdr_.count;
+    while (lo < hi) {
+      uint16_t mid = (lo + hi) / 2;
+      if (KeyAt(mid).compare(key) <= 0) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    return lo;
+  }
+
+  size_t FreeSpace() const {
+    return kPageSize - HeaderEnd() -
+           static_cast<size_t>(hdr_.count) * sizeof(Entry) - hdr_.heap_used;
+  }
+
+  bool HasSpaceFor(size_t key_len) const {
+    return FreeSpace() >= sizeof(Entry) + key_len;
+  }
+
+  /// Inserts separator `key` with right child `child_raw` (caller ensured
+  /// space). Keeps slots sorted.
+  void InsertSeparator(const Slice& key, uint64_t child_raw) {
+    assert(HasSpaceFor(key.size()));
+    uint16_t pos = FindChild(key);  // first sep > key sits at pos
+    Entry* slots = Slots();
+    memmove(slots + pos + 1, slots + pos,
+            static_cast<size_t>(hdr_.count - pos) * sizeof(Entry));
+    hdr_.heap_used += static_cast<uint16_t>(key.size());
+    uint16_t off = static_cast<uint16_t>(kPageSize - hdr_.heap_used);
+    memcpy(Page() + off, key.data(), key.size());
+    slots[pos].key_off = off;
+    slots[pos].key_len = static_cast<uint16_t>(key.size());
+    slots[pos].pad = 0;
+    slots[pos].child = child_raw;
+    hdr_.count += 1;
+  }
+
+  /// Splits this (full) node: moves the upper half into `right` (an
+  /// uninitialized page) and returns the separator key that must be inserted
+  /// into the parent. After the split, `sep_out` holds the middle key.
+  void Split(char* right_page, std::string* sep_out) {
+    uint16_t mid = hdr_.count / 2;
+    std::string sep = KeyAt(mid).ToString();
+    // Right node: children mid+1 .. count, separators mid+1 .. count-1.
+    InnerNode* right = Init(right_page, Slots()[mid].child);
+    for (uint16_t i = mid + 1; i < hdr_.count; ++i) {
+      right->InsertSeparator(KeyAt(i), Slots()[i].child);
+    }
+    // Shrink left to separators 0..mid-1 (children 0..mid). Rebuild heap
+    // compactly via a scratch copy.
+    char scratch[kPageSize];
+    InnerNode* left = Init(scratch, leftmost_);
+    for (uint16_t i = 0; i < mid; ++i) {
+      left->InsertSeparator(KeyAt(i), Slots()[i].child);
+    }
+    memcpy(Page(), scratch, kPageSize);
+    *sep_out = std::move(sep);
+  }
+
+  /// Replaces the swip word of child `i` (used when re-parenting).
+  void SetChildRaw(uint16_t i, uint64_t raw) {
+    if (i == 0) {
+      leftmost_ = raw;
+    } else {
+      Slots()[i - 1].child = raw;
+    }
+  }
+
+  /// Removes child `i` (and the separator guarding it). Used when detaching
+  /// a frozen table leaf. Key-heap bytes are leaked until the node is next
+  /// split/rebuilt (acceptable: detach is rare).
+  void RemoveChildAt(uint16_t i) {
+    assert(num_children() > 1);
+    Entry* slots = Slots();
+    if (i == 0) {
+      // Leftmost child removed: slot 0's child becomes the new leftmost.
+      leftmost_ = slots[0].child;
+      memmove(slots, slots + 1,
+              static_cast<size_t>(hdr_.count - 1) * sizeof(Entry));
+    } else {
+      memmove(slots + i - 1, slots + i,
+              static_cast<size_t>(hdr_.count - i) * sizeof(Entry));
+    }
+    hdr_.count -= 1;
+  }
+
+  /// Finds the child slot whose swip word equals `raw`; returns -1 if absent.
+  int FindChildBySwipWord(uint64_t target_frame_ptr) const {
+    // Compare ignoring the 2 tag bits (hot/cooling both point at the frame).
+    for (uint16_t i = 0; i < num_children(); ++i) {
+      uint64_t w = (i == 0) ? leftmost_ : SlotsConst()[i - 1].child;
+      if ((w & ~Swip::kTagMask) == target_frame_ptr &&
+          (w & Swip::kTagMask) != Swip::kTagEvicted) {
+        return i;
+      }
+    }
+    return -1;
+  }
+
+ private:
+  static constexpr size_t HeaderEnd() {
+    return sizeof(NodeHeader) + sizeof(uint64_t);
+  }
+  char* Page() { return reinterpret_cast<char*>(this); }
+  const char* Page() const { return reinterpret_cast<const char*>(this); }
+  Entry* Slots() { return reinterpret_cast<Entry*>(Page() + HeaderEnd()); }
+  const Entry* SlotsConst() const {
+    return reinterpret_cast<const Entry*>(Page() + HeaderEnd());
+  }
+
+  NodeHeader hdr_;
+  uint64_t leftmost_;
+  // Followed by: Entry slots[count], free space, key heap.
+};
+
+/// Index leaf: sorted slotted (key, uint64 value) pairs. Secondary indexes
+/// store (user key [+ row_id suffix for non-unique], row_id).
+class IndexLeaf {
+ public:
+  struct Entry {
+    uint16_t key_off;
+    uint16_t key_len;
+    uint32_t pad;
+    uint64_t value;
+  };
+  static_assert(sizeof(Entry) == 16);
+
+  static IndexLeaf* Cast(char* page) {
+    return reinterpret_cast<IndexLeaf*>(page);
+  }
+  static const IndexLeaf* Cast(const char* page) {
+    return reinterpret_cast<const IndexLeaf*>(page);
+  }
+
+  static IndexLeaf* Init(char* page) {
+    memset(page, 0, kHeaderBytes);
+    auto* n = Cast(page);
+    n->hdr_.kind = static_cast<uint8_t>(NodeKind::kIndexLeaf);
+    return n;
+  }
+
+  uint16_t count() const { return hdr_.count; }
+
+  /// Upper fence: exclusive upper bound of this leaf's key range (the first
+  /// key of the right sibling at split time). The rightmost leaf has none.
+  /// Scans use it as the continuation key when re-descending.
+  bool has_upper_fence() const { return has_upper_ != 0; }
+  Slice upper_fence() const {
+    return Slice(Page() + upper_off_, upper_len_);
+  }
+  void SetUpperFence(const Slice& fence) {
+    assert(FreeSpace() >= fence.size());
+    hdr_.heap_used += static_cast<uint16_t>(fence.size());
+    uint16_t off = static_cast<uint16_t>(kPageSize - hdr_.heap_used);
+    memcpy(Page() + off, fence.data(), fence.size());
+    upper_off_ = off;
+    upper_len_ = static_cast<uint16_t>(fence.size());
+    has_upper_ = 1;
+  }
+
+  Slice KeyAt(uint16_t i) const {
+    const Entry& e = SlotsConst()[i];
+    return Slice(Page() + e.key_off, e.key_len);
+  }
+  uint64_t ValueAt(uint16_t i) const { return SlotsConst()[i].value; }
+  void SetValueAt(uint16_t i, uint64_t v) { Slots()[i].value = v; }
+
+  /// First slot with key >= `key` (== count when all keys are smaller).
+  uint16_t LowerBound(const Slice& key) const {
+    uint16_t lo = 0, hi = hdr_.count;
+    while (lo < hi) {
+      uint16_t mid = (lo + hi) / 2;
+      if (KeyAt(mid).compare(key) < 0) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    return lo;
+  }
+
+  /// Exact-match slot or -1.
+  int Find(const Slice& key) const {
+    uint16_t pos = LowerBound(key);
+    if (pos < hdr_.count && KeyAt(pos) == key) return pos;
+    return -1;
+  }
+
+  size_t FreeSpace() const {
+    return kPageSize - kHeaderBytes -
+           static_cast<size_t>(hdr_.count) * sizeof(Entry) - hdr_.heap_used;
+  }
+  bool HasSpaceFor(size_t key_len) const {
+    return FreeSpace() >= sizeof(Entry) + key_len;
+  }
+
+  /// Inserts (key, value); returns false if the key already exists.
+  bool Insert(const Slice& key, uint64_t value) {
+    assert(HasSpaceFor(key.size()));
+    uint16_t pos = LowerBound(key);
+    if (pos < hdr_.count && KeyAt(pos) == key) return false;
+    Entry* slots = Slots();
+    memmove(slots + pos + 1, slots + pos,
+            static_cast<size_t>(hdr_.count - pos) * sizeof(Entry));
+    hdr_.heap_used += static_cast<uint16_t>(key.size());
+    uint16_t off = static_cast<uint16_t>(kPageSize - hdr_.heap_used);
+    memcpy(Page() + off, key.data(), key.size());
+    slots[pos].key_off = off;
+    slots[pos].key_len = static_cast<uint16_t>(key.size());
+    slots[pos].pad = 0;
+    slots[pos].value = value;
+    hdr_.count += 1;
+    return true;
+  }
+
+  /// Removes `key`; returns false if absent. Heap space of the removed key
+  /// is reclaimed lazily by Compact() when the leaf needs room.
+  bool Remove(const Slice& key) {
+    int pos = Find(key);
+    if (pos < 0) return false;
+    Entry* slots = Slots();
+    memmove(slots + pos, slots + pos + 1,
+            static_cast<size_t>(hdr_.count - pos - 1) * sizeof(Entry));
+    hdr_.count -= 1;
+    return true;
+  }
+
+  /// Rewrites the key heap compactly (dropping dead key bytes).
+  void Compact() {
+    char scratch[kPageSize];
+    IndexLeaf* tmp = Init(scratch);
+    if (has_upper_fence()) tmp->SetUpperFence(upper_fence());
+    for (uint16_t i = 0; i < hdr_.count; ++i) {
+      tmp->Insert(KeyAt(i), ValueAt(i));
+    }
+    memcpy(Page(), scratch, kPageSize);
+  }
+
+  /// Splits into `right` at the median; `sep_out` receives the first key of
+  /// the right node (a valid separator: left keys < sep <= right keys).
+  /// Fences: right inherits this leaf's upper fence; this leaf's new upper
+  /// fence becomes the separator.
+  void Split(char* right_page, std::string* sep_out) {
+    uint16_t mid = hdr_.count / 2;
+    std::string old_upper =
+        has_upper_fence() ? upper_fence().ToString() : std::string();
+    bool had_upper = has_upper_fence();
+    IndexLeaf* right = Init(right_page);
+    if (had_upper) right->SetUpperFence(old_upper);
+    for (uint16_t i = mid; i < hdr_.count; ++i) {
+      right->Insert(KeyAt(i), ValueAt(i));
+    }
+    std::string sep = right->KeyAt(0).ToString();
+    char scratch[kPageSize];
+    IndexLeaf* left = Init(scratch);
+    left->SetUpperFence(sep);
+    for (uint16_t i = 0; i < mid; ++i) {
+      left->Insert(KeyAt(i), ValueAt(i));
+    }
+    memcpy(Page(), scratch, kPageSize);
+    *sep_out = std::move(sep);
+  }
+
+ private:
+  static constexpr size_t kHeaderBytes = sizeof(NodeHeader) + 8;
+
+  char* Page() { return reinterpret_cast<char*>(this); }
+  const char* Page() const { return reinterpret_cast<const char*>(this); }
+  Entry* Slots() {
+    return reinterpret_cast<Entry*>(Page() + kHeaderBytes);
+  }
+  const Entry* SlotsConst() const {
+    return reinterpret_cast<const Entry*>(Page() + kHeaderBytes);
+  }
+
+  NodeHeader hdr_;
+  uint16_t upper_off_ = 0;
+  uint16_t upper_len_ = 0;
+  uint8_t has_upper_ = 0;
+  uint8_t pad_[3] = {};
+};
+
+}  // namespace phoebe
+
+#endif  // PHOEBE_STORAGE_NODE_H_

@@ -1,0 +1,60 @@
+#ifndef PHOEBE_STORAGE_OP_CONTEXT_H_
+#define PHOEBE_STORAGE_OP_CONTEXT_H_
+
+#include <cstdint>
+
+#include "buffer/buffer_frame.h"
+#include "common/random.h"
+#include "io/async_io.h"
+
+namespace phoebe {
+
+class BTree;
+
+/// Per-task-slot execution context threaded through all storage operations.
+///
+/// In coroutine mode (synchronous == false) an operation that would block
+/// returns Status::Blocked(...) and the transaction coroutine yields to the
+/// scheduler; the context carries the in-flight async page read so the retry
+/// can finalize it. In synchronous mode (loader, recovery, tests, the thread
+/// execution model of Exp 6) operations block the OS thread instead.
+struct OpContext {
+  /// Buffer partition owned by the executing worker (Section 7.1).
+  uint32_t partition = 0;
+
+  /// Blocking mode: true -> spin/block instead of returning kBlocked.
+  bool synchronous = true;
+
+  /// Spin budget for contended latches before yielding.
+  int latch_spin_budget = 1024;
+
+  /// OLTP access accounting for temperature tracking; maintenance scans
+  /// (freeze passes, consistency checks) disable it so "operations like
+  /// table scans do not warm any data" (Section 5.2).
+  bool count_accesses = true;
+
+  Random rng{0xC0FFEE};
+
+  /// Populates this context as a synchronous (never-yielding) view of
+  /// `base`, for sub-operations that must not suspend. OpContext is
+  /// non-movable (embedded atomics), hence the in-place initializer.
+  void InitSyncViewOf(const OpContext& base) {
+    partition = base.partition;
+    synchronous = true;
+    count_accesses = base.count_accesses;
+  }
+
+  /// At most one in-flight asynchronous page load per task slot.
+  struct PendingLoad {
+    AsyncIoEngine::Request req;
+    BufferFrame* frame = nullptr;  // X-latched by us for the flight duration
+    PageId page_id = kInvalidPageId;
+    BTree* tree = nullptr;
+    bool active = false;
+  };
+  PendingLoad load;
+};
+
+}  // namespace phoebe
+
+#endif  // PHOEBE_STORAGE_OP_CONTEXT_H_

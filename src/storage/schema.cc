@@ -1,0 +1,397 @@
+#include "storage/schema.h"
+
+#include <cassert>
+#include <cstring>
+
+#include "common/coding.h"
+
+namespace phoebe {
+
+Schema::Schema(std::vector<ColumnDef> columns) : columns_(std::move(columns)) {
+  fixed_offsets_.reserve(columns_.size());
+  uint32_t off = 0;
+  for (const auto& c : columns_) {
+    fixed_offsets_.push_back(off);
+    off += FixedWidth(c.type);
+  }
+  fixed_size_ = off;
+}
+
+int Schema::ColumnIndex(const std::string& name) const {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i].name == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+size_t Schema::max_row_size() const {
+  size_t sz = 2 + null_bitmap_bytes() + fixed_size_;
+  for (const auto& c : columns_) {
+    if (c.type == ColumnType::kString) sz += c.max_len;
+  }
+  return sz;
+}
+
+std::string Schema::Serialize() const {
+  std::string out;
+  PutVarint32(&out, static_cast<uint32_t>(columns_.size()));
+  for (const auto& c : columns_) {
+    PutLengthPrefixedSlice(&out, c.name);
+    out.push_back(static_cast<char>(c.type));
+    PutVarint32(&out, c.max_len);
+    out.push_back(c.nullable ? 1 : 0);
+  }
+  return out;
+}
+
+Result<Schema> Schema::Deserialize(Slice input) {
+  uint32_t n = 0;
+  if (!GetVarint32(&input, &n)) {
+    return Result<Schema>(Status::Corruption("schema: count"));
+  }
+  std::vector<ColumnDef> cols;
+  cols.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    ColumnDef c;
+    Slice name;
+    if (!GetLengthPrefixedSlice(&input, &name) || input.size() < 1) {
+      return Result<Schema>(Status::Corruption("schema: column"));
+    }
+    c.name = name.ToString();
+    c.type = static_cast<ColumnType>(input[0]);
+    input.remove_prefix(1);
+    if (!GetVarint32(&input, &c.max_len) || input.size() < 1) {
+      return Result<Schema>(Status::Corruption("schema: column tail"));
+    }
+    c.nullable = input[0] != 0;
+    input.remove_prefix(1);
+    cols.push_back(std::move(c));
+  }
+  return Result<Schema>(Schema(std::move(cols)));
+}
+
+// --- RowView -----------------------------------------------------------------
+
+uint16_t RowView::size() const {
+  uint16_t sz;
+  memcpy(&sz, data_, 2);
+  return sz;
+}
+
+bool RowView::IsNull(size_t col) const {
+  const uint8_t* bitmap = reinterpret_cast<const uint8_t*>(data_ + 2);
+  return (bitmap[col / 8] >> (col % 8)) & 1;
+}
+
+const char* RowView::FixedSlot(size_t col) const {
+  return data_ + 2 + schema_->null_bitmap_bytes() + schema_->fixed_offset(col);
+}
+
+int32_t RowView::GetInt32(size_t col) const {
+  int32_t v;
+  memcpy(&v, FixedSlot(col), 4);
+  return v;
+}
+
+int64_t RowView::GetInt64(size_t col) const {
+  int64_t v;
+  memcpy(&v, FixedSlot(col), 8);
+  return v;
+}
+
+double RowView::GetDouble(size_t col) const {
+  double v;
+  memcpy(&v, FixedSlot(col), 8);
+  return v;
+}
+
+Slice RowView::GetString(size_t col) const {
+  const char* slot = FixedSlot(col);
+  uint16_t off, len;
+  memcpy(&off, slot, 2);
+  memcpy(&len, slot + 2, 2);
+  return Slice(data_ + off, len);
+}
+
+Value RowView::GetValue(size_t col) const {
+  const ColumnDef& def = schema_->column(col);
+  if (IsNull(col)) return Value::Null(def.type);
+  switch (def.type) {
+    case ColumnType::kInt32: return Value::Int32(GetInt32(col));
+    case ColumnType::kInt64: return Value::Int64(GetInt64(col));
+    case ColumnType::kDouble: return Value::Double(GetDouble(col));
+    case ColumnType::kString: return Value::String(GetString(col).ToString());
+  }
+  return Value{};
+}
+
+// --- RowBuilder --------------------------------------------------------------
+
+RowBuilder::RowBuilder(const Schema* schema)
+    : schema_(schema),
+      values_(schema->num_columns()),
+      set_(schema->num_columns(), false) {}
+
+RowBuilder& RowBuilder::Set(size_t col, const Value& v) {
+  assert(col < values_.size());
+  values_[col] = v;
+  set_[col] = true;
+  return *this;
+}
+
+RowBuilder& RowBuilder::SetNull(size_t col) {
+  values_[col] = Value::Null(schema_->column(col).type);
+  set_[col] = true;
+  return *this;
+}
+
+Result<std::string> RowBuilder::Encode() const {
+  const size_t ncols = schema_->num_columns();
+  for (size_t i = 0; i < ncols; ++i) {
+    if (!set_[i] && !schema_->column(i).nullable) {
+      return Result<std::string>(Status::InvalidArgument(
+          "column not set: " + schema_->column(i).name));
+    }
+  }
+  const size_t bitmap_bytes = schema_->null_bitmap_bytes();
+  const size_t fixed_base = 2 + bitmap_bytes;
+  std::string out(fixed_base + schema_->fixed_area_size(), '\0');
+
+  for (size_t i = 0; i < ncols; ++i) {
+    const ColumnDef& def = schema_->column(i);
+    const bool is_null = !set_[i] || values_[i].is_null;
+    if (is_null) {
+      out[2 + i / 8] = static_cast<char>(
+          static_cast<uint8_t>(out[2 + i / 8]) | (1u << (i % 8)));
+      continue;
+    }
+    const Value& v = values_[i];
+    char* slot = out.data() + fixed_base + schema_->fixed_offset(i);
+    switch (def.type) {
+      case ColumnType::kInt32: {
+        int32_t x = static_cast<int32_t>(v.i64);
+        memcpy(slot, &x, 4);
+        break;
+      }
+      case ColumnType::kInt64:
+        memcpy(slot, &v.i64, 8);
+        break;
+      case ColumnType::kDouble:
+        memcpy(slot, &v.f64, 8);
+        break;
+      case ColumnType::kString:
+        // Offsets are fixed up after the heap is appended.
+        break;
+    }
+  }
+  // String heap.
+  for (size_t i = 0; i < ncols; ++i) {
+    const ColumnDef& def = schema_->column(i);
+    if (def.type != ColumnType::kString) continue;
+    const bool is_null = !set_[i] || values_[i].is_null;
+    if (is_null) continue;
+    const std::string& s = values_[i].str;
+    if (s.size() > def.max_len) {
+      return Result<std::string>(Status::InvalidArgument(
+          "string too long for column " + def.name));
+    }
+    uint16_t off = static_cast<uint16_t>(out.size());
+    uint16_t len = static_cast<uint16_t>(s.size());
+    char* slot = out.data() + fixed_base + schema_->fixed_offset(i);
+    memcpy(slot, &off, 2);
+    memcpy(slot + 2, &len, 2);
+    out.append(s);
+  }
+  if (out.size() > 0xFFFF) {
+    return Result<std::string>(Status::InvalidArgument("row too large"));
+  }
+  uint16_t total = static_cast<uint16_t>(out.size());
+  memcpy(out.data(), &total, 2);
+  return Result<std::string>(std::move(out));
+}
+
+// --- DeltaCodec --------------------------------------------------------------
+
+namespace {
+
+bool ColumnEquals(const Schema& schema, RowView a, RowView b, size_t col) {
+  const bool an = a.IsNull(col);
+  const bool bn = b.IsNull(col);
+  if (an != bn) return false;
+  if (an) return true;
+  switch (schema.column(col).type) {
+    case ColumnType::kInt32: return a.GetInt32(col) == b.GetInt32(col);
+    case ColumnType::kInt64: return a.GetInt64(col) == b.GetInt64(col);
+    case ColumnType::kDouble: return a.GetDouble(col) == b.GetDouble(col);
+    case ColumnType::kString: return a.GetString(col) == b.GetString(col);
+  }
+  return true;
+}
+
+void AppendColumnValue(const Schema& schema, RowView row, size_t col,
+                       std::string* out) {
+  PutVarint32(out, static_cast<uint32_t>(col));
+  const bool is_null = row.IsNull(col);
+  out->push_back(is_null ? 1 : 0);
+  if (is_null) return;
+  switch (schema.column(col).type) {
+    case ColumnType::kInt32: {
+      int32_t v = row.GetInt32(col);
+      out->append(reinterpret_cast<const char*>(&v), 4);
+      break;
+    }
+    case ColumnType::kInt64: {
+      int64_t v = row.GetInt64(col);
+      out->append(reinterpret_cast<const char*>(&v), 8);
+      break;
+    }
+    case ColumnType::kDouble: {
+      double v = row.GetDouble(col);
+      out->append(reinterpret_cast<const char*>(&v), 8);
+      break;
+    }
+    case ColumnType::kString:
+      PutLengthPrefixedSlice(out, row.GetString(col));
+      break;
+  }
+}
+
+}  // namespace
+
+std::string DeltaCodec::ComputeBeforeDelta(const Schema& schema,
+                                           RowView old_row, RowView new_row) {
+  std::vector<uint32_t> changed;
+  for (size_t i = 0; i < schema.num_columns(); ++i) {
+    if (!ColumnEquals(schema, old_row, new_row, i)) {
+      changed.push_back(static_cast<uint32_t>(i));
+    }
+  }
+  return MakeDelta(schema, old_row, changed);
+}
+
+std::string DeltaCodec::MakeDelta(const Schema& schema, RowView old_row,
+                                  const std::vector<uint32_t>& columns) {
+  std::string out;
+  PutVarint32(&out, static_cast<uint32_t>(columns.size()));
+  for (uint32_t col : columns) {
+    AppendColumnValue(schema, old_row, col, &out);
+  }
+  return out;
+}
+
+Result<std::string> DeltaCodec::ApplyDelta(const Schema& schema, Slice row,
+                                           Slice delta) {
+  RowView view(&schema, row.data());
+  RowBuilder builder(&schema);
+  for (size_t i = 0; i < schema.num_columns(); ++i) {
+    if (view.IsNull(i)) {
+      builder.SetNull(i);
+    } else {
+      builder.Set(i, view.GetValue(i));
+    }
+  }
+  uint32_t count = 0;
+  if (!GetVarint32(&delta, &count)) {
+    return Result<std::string>(Status::Corruption("delta: count"));
+  }
+  for (uint32_t k = 0; k < count; ++k) {
+    uint32_t col = 0;
+    if (!GetVarint32(&delta, &col) || delta.size() < 1 ||
+        col >= schema.num_columns()) {
+      return Result<std::string>(Status::Corruption("delta: column"));
+    }
+    bool is_null = delta[0] != 0;
+    delta.remove_prefix(1);
+    if (is_null) {
+      builder.SetNull(col);
+      continue;
+    }
+    switch (schema.column(col).type) {
+      case ColumnType::kInt32: {
+        if (delta.size() < 4) {
+          return Result<std::string>(Status::Corruption("delta: i32"));
+        }
+        int32_t v;
+        memcpy(&v, delta.data(), 4);
+        delta.remove_prefix(4);
+        builder.SetInt32(col, v);
+        break;
+      }
+      case ColumnType::kInt64: {
+        if (delta.size() < 8) {
+          return Result<std::string>(Status::Corruption("delta: i64"));
+        }
+        int64_t v;
+        memcpy(&v, delta.data(), 8);
+        delta.remove_prefix(8);
+        builder.SetInt64(col, v);
+        break;
+      }
+      case ColumnType::kDouble: {
+        if (delta.size() < 8) {
+          return Result<std::string>(Status::Corruption("delta: f64"));
+        }
+        double v;
+        memcpy(&v, delta.data(), 8);
+        delta.remove_prefix(8);
+        builder.SetDouble(col, v);
+        break;
+      }
+      case ColumnType::kString: {
+        Slice s;
+        if (!GetLengthPrefixedSlice(&delta, &s)) {
+          return Result<std::string>(Status::Corruption("delta: str"));
+        }
+        builder.SetString(col, s.ToString());
+        break;
+      }
+    }
+  }
+  return builder.Encode();
+}
+
+Result<std::vector<uint32_t>> DeltaCodec::TouchedColumns(const Schema& schema,
+                                                         Slice delta) {
+  std::vector<uint32_t> cols;
+  uint32_t count = 0;
+  if (!GetVarint32(&delta, &count)) {
+    return Result<std::vector<uint32_t>>(Status::Corruption("delta: count"));
+  }
+  cols.reserve(count);
+  for (uint32_t k = 0; k < count; ++k) {
+    uint32_t col = 0;
+    if (!GetVarint32(&delta, &col) || delta.size() < 1 ||
+        col >= schema.num_columns()) {
+      return Result<std::vector<uint32_t>>(Status::Corruption("delta: col"));
+    }
+    bool is_null = delta[0] != 0;
+    delta.remove_prefix(1);
+    cols.push_back(col);
+    if (is_null) continue;
+    switch (schema.column(col).type) {
+      case ColumnType::kInt32:
+        if (delta.size() < 4) {
+          return Result<std::vector<uint32_t>>(Status::Corruption("delta"));
+        }
+        delta.remove_prefix(4);
+        break;
+      case ColumnType::kInt64:
+      case ColumnType::kDouble:
+        if (delta.size() < 8) {
+          return Result<std::vector<uint32_t>>(Status::Corruption("delta"));
+        }
+        delta.remove_prefix(8);
+        break;
+      case ColumnType::kString: {
+        Slice s;
+        if (!GetLengthPrefixedSlice(&delta, &s)) {
+          return Result<std::vector<uint32_t>>(Status::Corruption("delta"));
+        }
+        break;
+      }
+    }
+  }
+  return Result<std::vector<uint32_t>>(std::move(cols));
+}
+
+}  // namespace phoebe

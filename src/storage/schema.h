@@ -1,0 +1,186 @@
+#ifndef PHOEBE_STORAGE_SCHEMA_H_
+#define PHOEBE_STORAGE_SCHEMA_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/slice.h"
+#include "common/status.h"
+
+namespace phoebe {
+
+/// Column types supported by the storage engine. Strings are
+/// bounded-length (CHAR/VARCHAR(n)); timestamps/decimals map onto
+/// int64/double in the TPC-C schema.
+enum class ColumnType : uint8_t {
+  kInt32 = 0,
+  kInt64 = 1,
+  kDouble = 2,
+  kString = 3,
+};
+
+struct ColumnDef {
+  std::string name;
+  ColumnType type = ColumnType::kInt64;
+  /// Maximum byte length for kString columns (ignored otherwise).
+  uint32_t max_len = 0;
+  bool nullable = false;
+};
+
+/// A table schema: ordered column definitions plus the derived physical
+/// layout used by the row codec and the PAX page layout.
+///
+/// Row format (the serialized tuple representation used in the public API,
+/// UNDO before-images, and WAL payloads):
+///   [u16 total_size][null bitmap][fixed slots][string heap]
+/// Fixed slot widths: int32 -> 4, int64/double -> 8, string -> u16 offset +
+/// u16 length into the heap (offset relative to row start).
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<ColumnDef> columns);
+
+  size_t num_columns() const { return columns_.size(); }
+  const ColumnDef& column(size_t i) const { return columns_[i]; }
+  /// Returns -1 if not found.
+  int ColumnIndex(const std::string& name) const;
+
+  size_t null_bitmap_bytes() const { return (columns_.size() + 7) / 8; }
+  /// Offset of column i's fixed slot, relative to the start of the fixed
+  /// slot area.
+  uint32_t fixed_offset(size_t i) const { return fixed_offsets_[i]; }
+  size_t fixed_area_size() const { return fixed_size_; }
+  /// Worst-case encoded row size (all strings at max_len).
+  size_t max_row_size() const;
+  static uint32_t FixedWidth(ColumnType t) {
+    return t == ColumnType::kInt32 ? 4 : (t == ColumnType::kString ? 4 : 8);
+  }
+
+  /// Serialized schema (for the catalog file).
+  std::string Serialize() const;
+  static Result<Schema> Deserialize(Slice input);
+
+ private:
+  std::vector<ColumnDef> columns_;
+  std::vector<uint32_t> fixed_offsets_;
+  size_t fixed_size_ = 0;
+};
+
+/// A decoded column value used when building rows through the public API.
+struct Value {
+  ColumnType type = ColumnType::kInt64;
+  bool is_null = false;
+  int64_t i64 = 0;       // kInt32/kInt64
+  double f64 = 0;        // kDouble
+  std::string str;       // kString
+
+  static Value Null(ColumnType t) {
+    Value v;
+    v.type = t;
+    v.is_null = true;
+    return v;
+  }
+  static Value Int32(int32_t x) {
+    Value v;
+    v.type = ColumnType::kInt32;
+    v.i64 = x;
+    return v;
+  }
+  static Value Int64(int64_t x) {
+    Value v;
+    v.type = ColumnType::kInt64;
+    v.i64 = x;
+    return v;
+  }
+  static Value Double(double x) {
+    Value v;
+    v.type = ColumnType::kDouble;
+    v.f64 = x;
+    return v;
+  }
+  static Value String(std::string s) {
+    Value v;
+    v.type = ColumnType::kString;
+    v.str = std::move(s);
+    return v;
+  }
+};
+
+/// Read-only accessor over an encoded row.
+class RowView {
+ public:
+  RowView() = default;
+  RowView(const Schema* schema, const char* data)
+      : schema_(schema), data_(data) {}
+
+  bool valid() const { return data_ != nullptr; }
+  const char* data() const { return data_; }
+  uint16_t size() const;
+  Slice AsSlice() const { return Slice(data_, size()); }
+
+  bool IsNull(size_t col) const;
+  int32_t GetInt32(size_t col) const;
+  int64_t GetInt64(size_t col) const;
+  double GetDouble(size_t col) const;
+  Slice GetString(size_t col) const;
+  Value GetValue(size_t col) const;
+
+ private:
+  const char* FixedSlot(size_t col) const;
+
+  const Schema* schema_ = nullptr;
+  const char* data_ = nullptr;
+};
+
+/// Builder producing encoded rows.
+class RowBuilder {
+ public:
+  explicit RowBuilder(const Schema* schema);
+
+  RowBuilder& Set(size_t col, const Value& v);
+  RowBuilder& SetInt32(size_t col, int32_t v) { return Set(col, Value::Int32(v)); }
+  RowBuilder& SetInt64(size_t col, int64_t v) { return Set(col, Value::Int64(v)); }
+  RowBuilder& SetDouble(size_t col, double v) { return Set(col, Value::Double(v)); }
+  RowBuilder& SetString(size_t col, std::string v) {
+    return Set(col, Value::String(std::move(v)));
+  }
+  RowBuilder& SetNull(size_t col);
+
+  /// Encodes the row. All non-nullable columns must have been set.
+  Result<std::string> Encode() const;
+
+ private:
+  const Schema* schema_;
+  std::vector<Value> values_;
+  std::vector<bool> set_;
+};
+
+/// Before-image delta codec for UNDO logs (Section 6.2): records only the
+/// columns that changed. Format:
+///   [varint32 column_count] then per column: [varint32 col][u8 null]
+///   [payload: fixed width or varint-length-prefixed string]
+class DeltaCodec {
+ public:
+  /// Computes the delta holding the *old* values of every column where old
+  /// and new rows differ. Empty string when no column changed.
+  static std::string ComputeBeforeDelta(const Schema& schema, RowView old_row,
+                                        RowView new_row);
+
+  /// Builds a delta holding the old values of an explicit column set.
+  static std::string MakeDelta(const Schema& schema, RowView old_row,
+                               const std::vector<uint32_t>& columns);
+
+  /// Applies a before-image delta onto `row` (an encoded row), producing the
+  /// earlier version.
+  static Result<std::string> ApplyDelta(const Schema& schema, Slice row,
+                                        Slice delta);
+
+  /// Lists the columns touched by a delta (for index-maintenance checks).
+  static Result<std::vector<uint32_t>> TouchedColumns(const Schema& schema,
+                                                      Slice delta);
+};
+
+}  // namespace phoebe
+
+#endif  // PHOEBE_STORAGE_SCHEMA_H_

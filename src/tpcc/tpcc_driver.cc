@@ -1,0 +1,296 @@
+#include "tpcc/tpcc_driver.h"
+
+#include <cmath>
+#include <cstdio>
+#include <map>
+
+#include "common/clock.h"
+#include "io/io_stats.h"
+#include "runtime/thread_executor.h"
+
+namespace phoebe {
+namespace tpcc {
+
+namespace {
+
+enum class TxnType { kNewOrder, kPayment, kOrderStatus, kDelivery, kStock };
+
+TxnType PickType(TpccRandom* rnd, const DriverConfig& cfg) {
+  int64_t roll = rnd->Uniform(1, 100);
+  if (roll <= cfg.pct_new_order) return TxnType::kNewOrder;
+  roll -= cfg.pct_new_order;
+  if (roll <= cfg.pct_payment) return TxnType::kPayment;
+  roll -= cfg.pct_payment;
+  if (roll <= cfg.pct_order_status) return TxnType::kOrderStatus;
+  roll -= cfg.pct_order_status;
+  if (roll <= cfg.pct_delivery) return TxnType::kDelivery;
+  return TxnType::kStock;
+}
+
+/// Builds the TaskFn for one transaction. The home warehouse is chosen at
+/// slot level when affinity is on (worker-warehouse binding), otherwise
+/// uniformly at submit time.
+TaskFn MakeTask(Workload* w, const DriverConfig& cfg, TxnType type,
+                int32_t submit_w_id) {
+  return [w, cfg, type, submit_w_id](TaskEnv* env) -> TxnTask {
+    int32_t w_id = submit_w_id;
+    if (cfg.affinity) {
+      w_id = static_cast<int32_t>(env->global_slot_id %
+                                  static_cast<uint32_t>(w->scale.warehouses)) +
+             1;
+    }
+    TpccRandom rnd(env->ctx.rng.Next());
+    switch (type) {
+      case TxnType::kNewOrder:
+        return NewOrderTxn(w, env, MakeNewOrderParams(&rnd, w->scale, w_id));
+      case TxnType::kPayment:
+        return PaymentTxn(w, env, MakePaymentParams(&rnd, w->scale, w_id));
+      case TxnType::kOrderStatus:
+        return OrderStatusTxn(w, env,
+                              MakeOrderStatusParams(&rnd, w->scale, w_id));
+      case TxnType::kDelivery:
+        return DeliveryTxn(w, env, MakeDeliveryParams(&rnd, w_id));
+      case TxnType::kStock:
+        return StockLevelTxn(w, env, MakeStockLevelParams(&rnd, w_id));
+    }
+    return NewOrderTxn(w, env, MakeNewOrderParams(&rnd, w->scale, w_id));
+  };
+}
+
+struct Snapshot {
+  uint64_t commits = 0;
+  uint64_t new_orders = 0;
+  uint64_t wal_bytes = 0;
+  uint64_t read_bytes = 0;
+  uint64_t write_bytes = 0;
+  double at = 0;
+};
+
+Snapshot TakeSnapshot(Workload* w) {
+  Snapshot s;
+  s.commits = w->total_commits();
+  s.new_orders = w->new_order_commits.load(std::memory_order_relaxed);
+  auto& io = IoStats::Global();
+  s.wal_bytes = io.wal_bytes_written.load(std::memory_order_relaxed);
+  s.read_bytes = io.data_bytes_read.load(std::memory_order_relaxed);
+  s.write_bytes = io.data_bytes_written.load(std::memory_order_relaxed);
+  s.at = NowSeconds();
+  return s;
+}
+
+}  // namespace
+
+std::string DriverResult::Summary() const {
+  char buf[256];
+  snprintf(buf, sizeof(buf),
+           "tpmC=%.0f tpm=%.0f commits=%llu neworder=%llu aborts(user=%llu "
+           "sys=%llu) wal=%.1fMB/s over %.1fs",
+           tpmc, tpm, static_cast<unsigned long long>(commits),
+           static_cast<unsigned long long>(new_order_commits),
+           static_cast<unsigned long long>(user_aborts),
+           static_cast<unsigned long long>(sys_aborts), wal_mb_per_s,
+           seconds);
+  return buf;
+}
+
+DriverResult RunTpcc(Workload* w, const DriverConfig& config) {
+  Database* db = w->db;
+  DriverResult result;
+
+  std::atomic<bool> stop_feeding{false};
+
+  auto run_with = [&](auto& executor) {
+    executor.Start();
+
+    // Feeder thread: keeps the global task queue supplied.
+    std::thread feeder([&] {
+      TpccRandom rnd(config.seed);
+      while (!stop_feeding.load(std::memory_order_acquire)) {
+        TxnType type = PickType(&rnd, config);
+        int32_t w_id =
+            static_cast<int32_t>(rnd.Uniform(1, w->scale.warehouses));
+        executor.Submit(MakeTask(w, config, type, w_id));
+      }
+    });
+
+    if (config.warmup_seconds > 0) {
+      std::this_thread::sleep_for(std::chrono::duration<double>(
+          config.warmup_seconds));
+    }
+    Snapshot start = TakeSnapshot(w);
+    Snapshot last = start;
+
+    double deadline = start.at + config.seconds;
+    while (NowSeconds() < deadline) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(
+          config.sample_series ? 250 : 50));
+      if (config.sample_series) {
+        Snapshot cur = TakeSnapshot(w);
+        double dt = cur.at - last.at;
+        if (dt >= 0.9) {
+          SeriesPoint pt;
+          pt.t = cur.at - start.at;
+          pt.tpmc = static_cast<double>(cur.new_orders - last.new_orders) /
+                    dt * 60.0;
+          pt.tpm = static_cast<double>(cur.commits - last.commits) / dt * 60.0;
+          pt.wal_mb_per_s =
+              static_cast<double>(cur.wal_bytes - last.wal_bytes) / dt / 1e6;
+          pt.data_read_mb_per_s =
+              static_cast<double>(cur.read_bytes - last.read_bytes) / dt / 1e6;
+          pt.data_write_mb_per_s =
+              static_cast<double>(cur.write_bytes - last.write_bytes) / dt /
+              1e6;
+          result.series.push_back(pt);
+          last = cur;
+        }
+      }
+    }
+    Snapshot end = TakeSnapshot(w);
+
+    stop_feeding.store(true, std::memory_order_release);
+    executor.Stop();
+    feeder.join();
+
+    result.seconds = end.at - start.at;
+    result.commits = end.commits - start.commits;
+    result.new_order_commits = end.new_orders - start.new_orders;
+    result.tpm = static_cast<double>(result.commits) / result.seconds * 60.0;
+    result.tpmc = static_cast<double>(result.new_order_commits) /
+                  result.seconds * 60.0;
+    result.wal_mb_per_s =
+        static_cast<double>(end.wal_bytes - start.wal_bytes) /
+        result.seconds / 1e6;
+  };
+
+  if (config.thread_model) {
+    ThreadExecutor::Options opts;
+    opts.threads = config.thread_model_threads != 0
+                       ? config.thread_model_threads
+                       : db->options().workers * db->options().slots_per_worker;
+    opts.pin_threads = config.pin_workers;
+    ThreadExecutor executor(opts);
+    run_with(executor);
+  } else {
+    Scheduler::Options opts;
+    opts.workers = db->options().workers;
+    opts.slots_per_worker = db->options().slots_per_worker;
+    opts.pin_workers = config.pin_workers;
+    Scheduler scheduler(opts, db->MakeSchedulerHooks());
+    run_with(scheduler);
+  }
+
+  result.user_aborts = w->user_aborts.load(std::memory_order_relaxed);
+  result.sys_aborts = w->sys_aborts.load(std::memory_order_relaxed);
+  uint64_t total = w->total_commits();
+  if (total > 0) {
+    result.avg_commit_wait_us =
+        static_cast<double>(
+            w->commit_wait_ns.load(std::memory_order_relaxed)) /
+        1e3 / static_cast<double>(total);
+  }
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// Consistency checks (clause 3.3.2)
+// ---------------------------------------------------------------------------
+
+Status CheckConsistency(Workload* w) {
+  Database* db = w->db;
+  Tables& t = w->tables;
+  OpContext ctx;
+  ctx.synchronous = true;
+  ctx.count_accesses = false;
+  Transaction* txn = db->Begin(db->aux_slot(0));
+
+  struct DistrictState {
+    double ytd = 0;
+    int32_t next_o_id = 0;
+    int32_t max_o_id = 0;
+    int32_t max_no_o_id = 0;
+    int64_t no_count = 0;
+    int32_t min_no_o_id = INT32_MAX;
+  };
+  std::map<std::pair<int32_t, int32_t>, DistrictState> districts;
+  std::map<int32_t, double> warehouse_ytd;
+  std::map<int32_t, double> district_ytd_sum;
+
+  Status st = t.warehouse->ScanAllVisible(
+      &ctx, txn, [&](RowId, const std::string& row) {
+        RowView v(&t.warehouse->schema(), row.data());
+        warehouse_ytd[v.GetInt32(Warehouse::kId)] =
+            v.GetDouble(Warehouse::kYtd);
+        return true;
+      });
+  if (!st.ok()) goto done;
+
+  st = t.district->ScanAllVisible(&ctx, txn, [&](RowId,
+                                                 const std::string& row) {
+    RowView v(&t.district->schema(), row.data());
+    auto key = std::make_pair(v.GetInt32(District::kWId),
+                              v.GetInt32(District::kId));
+    districts[key].ytd = v.GetDouble(District::kYtd);
+    districts[key].next_o_id = v.GetInt32(District::kNextOId);
+    district_ytd_sum[key.first] += v.GetDouble(District::kYtd);
+    return true;
+  });
+  if (!st.ok()) goto done;
+
+  st = t.order->ScanAllVisible(&ctx, txn, [&](RowId, const std::string& row) {
+    RowView v(&t.order->schema(), row.data());
+    auto key =
+        std::make_pair(v.GetInt32(Order::kWId), v.GetInt32(Order::kDId));
+    districts[key].max_o_id =
+        std::max(districts[key].max_o_id, v.GetInt32(Order::kId));
+    return true;
+  });
+  if (!st.ok()) goto done;
+
+  st = t.new_order->ScanAllVisible(
+      &ctx, txn, [&](RowId, const std::string& row) {
+        RowView v(&t.new_order->schema(), row.data());
+        auto key = std::make_pair(v.GetInt32(NewOrder::kWId),
+                                  v.GetInt32(NewOrder::kDId));
+        auto& d = districts[key];
+        d.max_no_o_id = std::max(d.max_no_o_id, v.GetInt32(NewOrder::kOId));
+        d.min_no_o_id = std::min(d.min_no_o_id, v.GetInt32(NewOrder::kOId));
+        d.no_count += 1;
+        return true;
+      });
+  if (!st.ok()) goto done;
+
+  // Consistency 1: W_YTD == sum(D_YTD).
+  for (const auto& [w_id, ytd] : warehouse_ytd) {
+    double sum = district_ytd_sum[w_id];
+    if (std::fabs(ytd - sum) > 0.01) {
+      st = Status::Corruption("consistency 1: w_ytd mismatch for warehouse " +
+                              std::to_string(w_id));
+      goto done;
+    }
+  }
+  // Consistency 2 & 3: D_NEXT_O_ID - 1 == max(O_ID) == max(NO_O_ID) and the
+  // NEW-ORDER ids are contiguous.
+  for (const auto& [key, d] : districts) {
+    if (d.next_o_id - 1 != d.max_o_id) {
+      st = Status::Corruption("consistency 2: next_o_id vs max(o_id)");
+      goto done;
+    }
+    if (d.no_count > 0) {
+      if (d.max_no_o_id != d.next_o_id - 1) {
+        st = Status::Corruption("consistency 2: max(no_o_id)");
+        goto done;
+      }
+      if (d.max_no_o_id - d.min_no_o_id + 1 != d.no_count) {
+        st = Status::Corruption("consistency 3: new_order gap");
+        goto done;
+      }
+    }
+  }
+
+done:
+  (void)db->Abort(&ctx, txn);  // read-only; abort releases the slot
+  return st;
+}
+
+}  // namespace tpcc
+}  // namespace phoebe

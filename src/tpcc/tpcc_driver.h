@@ -1,0 +1,70 @@
+#ifndef PHOEBE_TPCC_TPCC_DRIVER_H_
+#define PHOEBE_TPCC_TPCC_DRIVER_H_
+
+#include <string>
+#include <vector>
+
+#include "tpcc/tpcc_txns.h"
+
+namespace phoebe {
+namespace tpcc {
+
+/// Driver configuration (HammerDB-TPROC-C style: no keying/think times; the
+/// standard 45/43/4/4/4 mix).
+struct DriverConfig {
+  double seconds = 5.0;
+  double warmup_seconds = 0.5;
+  /// Thread execution model instead of the coroutine pool (Exp 6).
+  bool thread_model = false;
+  uint32_t thread_model_threads = 0;  // 0 = total slots of the scheduler
+  /// Workload affinity: each task slot is bound to a home warehouse
+  /// (worker-to-warehouse binding, enabled by default in the paper).
+  bool affinity = true;
+  bool pin_workers = false;
+  uint64_t seed = 42;
+  int pct_new_order = 45;
+  int pct_payment = 43;
+  int pct_order_status = 4;
+  int pct_delivery = 4;
+  int pct_stock_level = 4;
+  /// Per-second time-series sampling (Exp 3/4 plots).
+  bool sample_series = false;
+};
+
+struct SeriesPoint {
+  double t = 0;  // seconds since measurement start
+  double tpmc = 0;
+  double tpm = 0;
+  double wal_mb_per_s = 0;
+  double data_read_mb_per_s = 0;
+  double data_write_mb_per_s = 0;
+};
+
+struct DriverResult {
+  double seconds = 0;
+  uint64_t commits = 0;
+  uint64_t new_order_commits = 0;
+  uint64_t user_aborts = 0;
+  uint64_t sys_aborts = 0;
+  double tpm = 0;
+  double tpmc = 0;
+  double wal_mb_per_s = 0;
+  /// Mean time a committing transaction spent waiting for durability.
+  double avg_commit_wait_us = 0;
+  std::vector<SeriesPoint> series;
+
+  std::string Summary() const;
+};
+
+/// Runs the TPC-C mix against `workload` for the configured duration.
+DriverResult RunTpcc(Workload* workload, const DriverConfig& config);
+
+/// TPC-C consistency checks (clause 3.3.2.1-3.3.2.4): W_YTD = sum(D_YTD);
+/// D_NEXT_O_ID - 1 = max(O_ID) = max(NO_O_ID); order/new-order/order-line
+/// cardinality invariants. Returns OK when all hold.
+Status CheckConsistency(Workload* workload);
+
+}  // namespace tpcc
+}  // namespace phoebe
+
+#endif  // PHOEBE_TPCC_TPCC_DRIVER_H_

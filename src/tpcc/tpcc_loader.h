@@ -1,0 +1,43 @@
+#ifndef PHOEBE_TPCC_TPCC_LOADER_H_
+#define PHOEBE_TPCC_TPCC_LOADER_H_
+
+#include "core/database.h"
+#include "tpcc/tpcc_schema.h"
+
+namespace phoebe {
+namespace tpcc {
+
+/// Database population parameters (TPC-C clause 4.3.3 at spec scale; the
+/// smaller defaults here keep CI-scale benches fast while preserving the
+/// workload shape — pass spec values for full-scale runs).
+struct ScaleConfig {
+  int warehouses = 1;
+  int districts_per_warehouse = 10;
+  int customers_per_district = 300;   // spec: 3000
+  int items = 10000;                  // spec: 100000
+  int initial_orders_per_district = 300;  // spec: 3000
+  /// Fraction of initial orders that are undelivered (spec: last 900/3000).
+  int undelivered_tail = 90;          // spec: 900
+  uint64_t seed = 20250325;
+  int load_threads = 4;
+  bool sync_wal_during_load = false;
+
+  static ScaleConfig Spec(int warehouses) {
+    ScaleConfig s;
+    s.warehouses = warehouses;
+    s.customers_per_district = 3000;
+    s.items = 100000;
+    s.initial_orders_per_district = 3000;
+    s.undelivered_tail = 900;
+    return s;
+  }
+};
+
+/// Loads a fresh TPC-C database (creates tables + populates). Uses aux task
+/// slots; call before starting the scheduler-driven workload.
+Result<Tables> LoadTpcc(Database* db, const ScaleConfig& config);
+
+}  // namespace tpcc
+}  // namespace phoebe
+
+#endif  // PHOEBE_TPCC_TPCC_LOADER_H_

@@ -1,0 +1,94 @@
+#ifndef PHOEBE_TPCC_TPCC_RANDOM_H_
+#define PHOEBE_TPCC_TPCC_RANDOM_H_
+
+#include <string>
+
+#include "common/random.h"
+
+namespace phoebe {
+namespace tpcc {
+
+/// TPC-C random input generation (clauses 2.1.6, 4.3.2, 4.3.3).
+class TpccRandom {
+ public:
+  explicit TpccRandom(uint64_t seed) : rng_(seed) {
+    // Per-run C constants for NURand (clause 2.1.6.1).
+    c_last_ = rng_.UniformRange(0, 255);
+    c_id_ = rng_.UniformRange(0, 1023);
+    ol_i_id_ = rng_.UniformRange(0, 8191);
+  }
+
+  Random& rng() { return rng_; }
+
+  int64_t Uniform(int64_t lo, int64_t hi) { return rng_.UniformRange(lo, hi); }
+
+  /// Non-uniform customer id in [1, max_c_id].
+  int64_t NURandCustomerId(int64_t max_c_id) {
+    return rng_.NURand(max_c_id >= 3000 ? 1023 : 255, 1, max_c_id, c_id_);
+  }
+  /// Non-uniform item id in [1, max_i_id].
+  int64_t NURandItemId(int64_t max_i_id) {
+    return rng_.NURand(max_i_id >= 8191 ? 8191 : 255, 1, max_i_id, ol_i_id_);
+  }
+  /// Non-uniform last-name number (run-time: [0, 999]).
+  int64_t NURandLastNameRun(int64_t max_names = 999) {
+    return rng_.NURand(255, 0, max_names, c_last_);
+  }
+
+  /// Alphanumeric string of length in [lo, hi] ("a-string").
+  std::string AString(int lo, int hi) {
+    static const char kChars[] =
+        "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789";
+    int len = static_cast<int>(Uniform(lo, hi));
+    std::string s(len, 'a');
+    for (int i = 0; i < len; ++i) s[i] = kChars[rng_.Uniform(62)];
+    return s;
+  }
+
+  /// Numeric string of length in [lo, hi] ("n-string").
+  std::string NString(int lo, int hi) {
+    int len = static_cast<int>(Uniform(lo, hi));
+    std::string s(len, '0');
+    for (int i = 0; i < len; ++i) {
+      s[i] = static_cast<char>('0' + rng_.Uniform(10));
+    }
+    return s;
+  }
+
+  /// Customer last name from the syllable table (clause 4.3.2.3).
+  static std::string LastName(int64_t num) {
+    static const char* kSyllables[] = {"BAR", "OUGHT", "ABLE",  "PRI",
+                                       "PRES", "ESE",  "ANTI", "CALLY",
+                                       "ATION", "EING"};
+    return std::string(kSyllables[(num / 100) % 10]) +
+           kSyllables[(num / 10) % 10] + kSyllables[num % 10];
+  }
+
+  /// Zip: 4 random digits + "11111" (clause 4.3.2.7).
+  std::string Zip() { return NString(4, 4) + "11111"; }
+
+  /// Data string, 10% containing "ORIGINAL" (clause 4.3.3.1).
+  std::string DataString(int lo, int hi) {
+    std::string s = AString(lo, hi);
+    if (rng_.Uniform(10) == 0 && s.size() >= 8) {
+      size_t pos = rng_.Uniform(s.size() - 8 + 1);
+      s.replace(pos, 8, "ORIGINAL");
+    }
+    return s;
+  }
+
+  double Tax() { return static_cast<double>(Uniform(0, 2000)) / 10000.0; }
+  double Discount() { return static_cast<double>(Uniform(0, 5000)) / 10000.0; }
+  double Price() { return static_cast<double>(Uniform(100, 10000)) / 100.0; }
+
+ private:
+  Random rng_;
+  int64_t c_last_;
+  int64_t c_id_;
+  int64_t ol_i_id_;
+};
+
+}  // namespace tpcc
+}  // namespace phoebe
+
+#endif  // PHOEBE_TPCC_TPCC_RANDOM_H_

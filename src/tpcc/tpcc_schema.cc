@@ -1,0 +1,176 @@
+#include "tpcc/tpcc_schema.h"
+
+namespace phoebe {
+namespace tpcc {
+
+namespace {
+
+ColumnDef I32(const char* name) {
+  return ColumnDef{name, ColumnType::kInt32, 0, false};
+}
+ColumnDef I32N(const char* name) {
+  return ColumnDef{name, ColumnType::kInt32, 0, true};
+}
+ColumnDef I64(const char* name) {
+  return ColumnDef{name, ColumnType::kInt64, 0, false};
+}
+ColumnDef I64N(const char* name) {
+  return ColumnDef{name, ColumnType::kInt64, 0, true};
+}
+ColumnDef F64(const char* name) {
+  return ColumnDef{name, ColumnType::kDouble, 0, false};
+}
+ColumnDef Str(const char* name, uint32_t len) {
+  return ColumnDef{name, ColumnType::kString, len, false};
+}
+
+Schema WarehouseSchema() {
+  return Schema({I32("w_id"), Str("w_name", 10), Str("w_street_1", 20),
+                 Str("w_street_2", 20), Str("w_city", 20), Str("w_state", 2),
+                 Str("w_zip", 9), F64("w_tax"), F64("w_ytd")});
+}
+Schema DistrictSchema() {
+  return Schema({I32("d_id"), I32("d_w_id"), Str("d_name", 10),
+                 Str("d_street_1", 20), Str("d_street_2", 20),
+                 Str("d_city", 20), Str("d_state", 2), Str("d_zip", 9),
+                 F64("d_tax"), F64("d_ytd"), I32("d_next_o_id")});
+}
+Schema CustomerSchema() {
+  return Schema({I32("c_id"), I32("c_d_id"), I32("c_w_id"),
+                 Str("c_first", 16), Str("c_middle", 2), Str("c_last", 16),
+                 Str("c_street_1", 20), Str("c_street_2", 20),
+                 Str("c_city", 20), Str("c_state", 2), Str("c_zip", 9),
+                 Str("c_phone", 16), I64("c_since"), Str("c_credit", 2),
+                 F64("c_credit_lim"), F64("c_discount"), F64("c_balance"),
+                 F64("c_ytd_payment"), I32("c_payment_cnt"),
+                 I32("c_delivery_cnt"), Str("c_data", 500)});
+}
+Schema HistorySchema() {
+  return Schema({I32("h_c_id"), I32("h_c_d_id"), I32("h_c_w_id"),
+                 I32("h_d_id"), I32("h_w_id"), I64("h_date"),
+                 F64("h_amount"), Str("h_data", 24)});
+}
+Schema NewOrderSchema() {
+  return Schema({I32("no_o_id"), I32("no_d_id"), I32("no_w_id")});
+}
+Schema OrderSchema() {
+  return Schema({I32("o_id"), I32("o_d_id"), I32("o_w_id"), I32("o_c_id"),
+                 I64("o_entry_d"), I32N("o_carrier_id"), I32("o_ol_cnt"),
+                 I32("o_all_local")});
+}
+Schema OrderLineSchema() {
+  return Schema({I32("ol_o_id"), I32("ol_d_id"), I32("ol_w_id"),
+                 I32("ol_number"), I32("ol_i_id"), I32("ol_supply_w_id"),
+                 I64N("ol_delivery_d"), I32("ol_quantity"), F64("ol_amount"),
+                 Str("ol_dist_info", 24)});
+}
+Schema ItemSchema() {
+  return Schema({I32("i_id"), I32("i_im_id"), Str("i_name", 24),
+                 F64("i_price"), Str("i_data", 50)});
+}
+Schema StockSchema() {
+  return Schema({I32("s_i_id"), I32("s_w_id"), I32("s_quantity"),
+                 Str("s_dist_01", 24), Str("s_dist_02", 24),
+                 Str("s_dist_03", 24), Str("s_dist_04", 24),
+                 Str("s_dist_05", 24), Str("s_dist_06", 24),
+                 Str("s_dist_07", 24), Str("s_dist_08", 24),
+                 Str("s_dist_09", 24), Str("s_dist_10", 24), F64("s_ytd"),
+                 I32("s_order_cnt"), I32("s_remote_cnt"), Str("s_data", 50)});
+}
+
+Result<Table*> EnsureTable(Database* db, const std::string& name,
+                           Schema schema) {
+  Result<Table*> existing = db->GetTable(name);
+  if (existing.ok()) return existing;
+  return db->CreateTable(name, schema);
+}
+
+Status EnsureIndex(Database* db, Table* table, const std::string& name,
+                   std::vector<uint32_t> cols, bool unique) {
+  if (table->FindIndex(name) >= 0) return Status::OK();
+  return db->CreateIndex(table->name(), name, std::move(cols), unique);
+}
+
+}  // namespace
+
+Result<Tables> CreateTpccTables(Database* db) {
+  Tables t;
+  auto get = [&](const char* name, Schema schema) -> Result<Table*> {
+    return EnsureTable(db, name, std::move(schema));
+  };
+#define PHOEBE_TPCC_TABLE(field, name, schema)        \
+  {                                                    \
+    Result<Table*> r = get(name, schema);              \
+    if (!r.ok()) return Result<Tables>(r.status());    \
+    t.field = r.value();                               \
+  }
+  PHOEBE_TPCC_TABLE(warehouse, "warehouse", WarehouseSchema());
+  PHOEBE_TPCC_TABLE(district, "district", DistrictSchema());
+  PHOEBE_TPCC_TABLE(customer, "customer", CustomerSchema());
+  PHOEBE_TPCC_TABLE(history, "history", HistorySchema());
+  PHOEBE_TPCC_TABLE(new_order, "new_order", NewOrderSchema());
+  PHOEBE_TPCC_TABLE(order, "oorder", OrderSchema());
+  PHOEBE_TPCC_TABLE(order_line, "order_line", OrderLineSchema());
+  PHOEBE_TPCC_TABLE(item, "item", ItemSchema());
+  PHOEBE_TPCC_TABLE(stock, "stock", StockSchema());
+#undef PHOEBE_TPCC_TABLE
+
+  Status st;
+  st = EnsureIndex(db, t.warehouse, "w_pk", {Warehouse::kId}, true);
+  if (!st.ok()) return Result<Tables>(st);
+  st = EnsureIndex(db, t.district, "d_pk", {District::kWId, District::kId},
+                   true);
+  if (!st.ok()) return Result<Tables>(st);
+  st = EnsureIndex(db, t.customer, "c_pk",
+                   {Customer::kWId, Customer::kDId, Customer::kId}, true);
+  if (!st.ok()) return Result<Tables>(st);
+  st = EnsureIndex(
+      db, t.customer, "c_by_name",
+      {Customer::kWId, Customer::kDId, Customer::kLast, Customer::kFirst},
+      false);
+  if (!st.ok()) return Result<Tables>(st);
+  st = EnsureIndex(db, t.new_order, "no_pk",
+                   {NewOrder::kWId, NewOrder::kDId, NewOrder::kOId}, true);
+  if (!st.ok()) return Result<Tables>(st);
+  st = EnsureIndex(db, t.order, "o_pk",
+                   {Order::kWId, Order::kDId, Order::kId}, true);
+  if (!st.ok()) return Result<Tables>(st);
+  st = EnsureIndex(db, t.order, "o_by_cust",
+                   {Order::kWId, Order::kDId, Order::kCId, Order::kId},
+                   false);
+  if (!st.ok()) return Result<Tables>(st);
+  st = EnsureIndex(
+      db, t.order_line, "ol_pk",
+      {OrderLine::kWId, OrderLine::kDId, OrderLine::kOId, OrderLine::kNumber},
+      true);
+  if (!st.ok()) return Result<Tables>(st);
+  st = EnsureIndex(db, t.item, "i_pk", {Item::kId}, true);
+  if (!st.ok()) return Result<Tables>(st);
+  st = EnsureIndex(db, t.stock, "s_pk", {Stock::kWId, Stock::kIId}, true);
+  if (!st.ok()) return Result<Tables>(st);
+  return Result<Tables>(t);
+}
+
+Result<Tables> GetTpccTables(Database* db) {
+  Tables t;
+#define PHOEBE_TPCC_GET(field, name)                   \
+  {                                                    \
+    Result<Table*> r = db->GetTable(name);             \
+    if (!r.ok()) return Result<Tables>(r.status());    \
+    t.field = r.value();                               \
+  }
+  PHOEBE_TPCC_GET(warehouse, "warehouse");
+  PHOEBE_TPCC_GET(district, "district");
+  PHOEBE_TPCC_GET(customer, "customer");
+  PHOEBE_TPCC_GET(history, "history");
+  PHOEBE_TPCC_GET(new_order, "new_order");
+  PHOEBE_TPCC_GET(order, "oorder");
+  PHOEBE_TPCC_GET(order_line, "order_line");
+  PHOEBE_TPCC_GET(item, "item");
+  PHOEBE_TPCC_GET(stock, "stock");
+#undef PHOEBE_TPCC_GET
+  return Result<Tables>(t);
+}
+
+}  // namespace tpcc
+}  // namespace phoebe

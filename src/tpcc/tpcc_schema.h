@@ -1,0 +1,91 @@
+#ifndef PHOEBE_TPCC_TPCC_SCHEMA_H_
+#define PHOEBE_TPCC_TPCC_SCHEMA_H_
+
+#include <string>
+
+#include "core/database.h"
+
+namespace phoebe {
+namespace tpcc {
+
+/// Column indexes for the nine TPC-C tables (TPC-C v5.11 clause 1.3).
+/// Decimal columns map to double, dates to int64 (unix micros).
+
+struct Warehouse {
+  enum : uint32_t {
+    kId = 0, kName, kStreet1, kStreet2, kCity, kState, kZip, kTax, kYtd,
+  };
+};
+struct District {
+  enum : uint32_t {
+    kId = 0, kWId, kName, kStreet1, kStreet2, kCity, kState, kZip, kTax,
+    kYtd, kNextOId,
+  };
+};
+struct Customer {
+  enum : uint32_t {
+    kId = 0, kDId, kWId, kFirst, kMiddle, kLast, kStreet1, kStreet2, kCity,
+    kState, kZip, kPhone, kSince, kCredit, kCreditLim, kDiscount, kBalance,
+    kYtdPayment, kPaymentCnt, kDeliveryCnt, kData,
+  };
+};
+struct History {
+  enum : uint32_t {
+    kCId = 0, kCDId, kCWId, kDId, kWId, kDate, kAmount, kData,
+  };
+};
+struct NewOrder {
+  enum : uint32_t { kOId = 0, kDId, kWId };
+};
+struct Order {
+  enum : uint32_t {
+    kId = 0, kDId, kWId, kCId, kEntryD, kCarrierId, kOlCnt, kAllLocal,
+  };
+};
+struct OrderLine {
+  enum : uint32_t {
+    kOId = 0, kDId, kWId, kNumber, kIId, kSupplyWId, kDeliveryD, kQuantity,
+    kAmount, kDistInfo,
+  };
+};
+struct Item {
+  enum : uint32_t { kId = 0, kImId, kName, kPrice, kData };
+};
+struct Stock {
+  enum : uint32_t {
+    kIId = 0, kWId, kQuantity,
+    kDist01, kDist02, kDist03, kDist04, kDist05,
+    kDist06, kDist07, kDist08, kDist09, kDist10,
+    kYtd, kOrderCnt, kRemoteCnt, kData,
+  };
+};
+
+/// Handles to the created tables and their index numbers.
+struct Tables {
+  Table* warehouse = nullptr;
+  Table* district = nullptr;
+  Table* customer = nullptr;
+  Table* history = nullptr;
+  Table* new_order = nullptr;
+  Table* order = nullptr;
+  Table* order_line = nullptr;
+  Table* item = nullptr;
+  Table* stock = nullptr;
+
+  // Index numbers within each table.
+  static constexpr size_t kPk = 0;        // first index is always the PK
+  static constexpr size_t kCustByName = 1;  // customer (w,d,last,first)
+  static constexpr size_t kOrderByCust = 1; // order (w,d,c,o_id)
+};
+
+/// Creates the nine tables + indexes in `db` (idempotent: returns existing
+/// handles when already present, e.g. after recovery).
+Result<Tables> CreateTpccTables(Database* db);
+
+/// Fetches handles for already-created tables.
+Result<Tables> GetTpccTables(Database* db);
+
+}  // namespace tpcc
+}  // namespace phoebe
+
+#endif  // PHOEBE_TPCC_TPCC_SCHEMA_H_

@@ -1,0 +1,631 @@
+#include "tpcc/tpcc_txns.h"
+
+#include <algorithm>
+#include <set>
+
+#include "common/clock.h"
+#include "common/profiler.h"
+
+namespace phoebe {
+namespace tpcc {
+
+namespace {
+
+constexpr int64_t kNowDate = 1742860800000000;  // 2025-03-25 in micros
+
+Value I32V(int32_t v) { return Value::Int32(v); }
+
+/// Abort helper: rolls back and classifies the failure.
+Status AbortWith(Workload* w, TaskEnv* env, Transaction* txn, Status st,
+                 bool user_initiated = false) {
+  (void)w->db->Abort(&env->ctx, txn);
+  if (user_initiated) {
+    w->user_aborts.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    w->sys_aborts.fetch_add(1, std::memory_order_relaxed);
+  }
+  return st;
+}
+
+}  // namespace
+
+/// Runs `expr` with yield-on-blocked; on failure aborts the transaction and
+/// co_returns. Must be used inside the transaction coroutines below where
+/// `st`, `w`, `env`, and `txn` are in scope.
+#define TPCC_OP(expr)                                           \
+  PHOEBE_CO_AWAIT(st, (expr));                                  \
+  if (!st.ok()) co_return AbortWith(w, env, txn, st)
+
+/// Like TPCC_OP but NotFound is handed back to the caller code path.
+#define TPCC_OP_ALLOW_NOTFOUND(expr)                            \
+  PHOEBE_CO_AWAIT(st, (expr));                                  \
+  if (!st.ok() && !st.IsNotFound()) co_return AbortWith(w, env, txn, st)
+
+// ---------------------------------------------------------------------------
+// Parameter generation
+// ---------------------------------------------------------------------------
+
+NewOrderParams MakeNewOrderParams(TpccRandom* rnd, const ScaleConfig& scale,
+                                  int32_t w_id) {
+  NewOrderParams p;
+  p.w_id = w_id;
+  p.d_id =
+      static_cast<int32_t>(rnd->Uniform(1, scale.districts_per_warehouse));
+  p.c_id = static_cast<int32_t>(
+      rnd->NURandCustomerId(scale.customers_per_district));
+  p.ol_cnt = static_cast<int>(rnd->Uniform(5, 15));
+  p.rollback = rnd->Uniform(1, 100) == 1;
+  for (int i = 0; i < p.ol_cnt; ++i) {
+    p.lines[i].i_id = static_cast<int32_t>(rnd->NURandItemId(scale.items));
+    p.lines[i].quantity = static_cast<int32_t>(rnd->Uniform(1, 10));
+    p.lines[i].supply_w_id = w_id;
+    if (scale.warehouses > 1 && rnd->Uniform(1, 100) == 1) {
+      // 1% remote warehouse.
+      int32_t remote;
+      do {
+        remote = static_cast<int32_t>(rnd->Uniform(1, scale.warehouses));
+      } while (remote == w_id);
+      p.lines[i].supply_w_id = remote;
+    }
+  }
+  if (p.rollback) p.lines[p.ol_cnt - 1].i_id = -1;  // unused item id
+  return p;
+}
+
+PaymentParams MakePaymentParams(TpccRandom* rnd, const ScaleConfig& scale,
+                                int32_t w_id) {
+  PaymentParams p;
+  p.w_id = w_id;
+  p.d_id =
+      static_cast<int32_t>(rnd->Uniform(1, scale.districts_per_warehouse));
+  if (scale.warehouses > 1 && rnd->Uniform(1, 100) <= 15) {
+    do {
+      p.c_w_id = static_cast<int32_t>(rnd->Uniform(1, scale.warehouses));
+    } while (p.c_w_id == w_id);
+    p.c_d_id =
+        static_cast<int32_t>(rnd->Uniform(1, scale.districts_per_warehouse));
+  } else {
+    p.c_w_id = w_id;
+    p.c_d_id = p.d_id;
+  }
+  p.by_name = rnd->Uniform(1, 100) <= 60;
+  if (p.by_name) {
+    p.c_last = TpccRandom::LastName(rnd->NURandLastNameRun(
+        std::min<int64_t>(999, scale.customers_per_district - 1)));
+  } else {
+    p.c_id = static_cast<int32_t>(
+        rnd->NURandCustomerId(scale.customers_per_district));
+  }
+  p.amount = static_cast<double>(rnd->Uniform(100, 500000)) / 100.0;
+  return p;
+}
+
+OrderStatusParams MakeOrderStatusParams(TpccRandom* rnd,
+                                        const ScaleConfig& scale,
+                                        int32_t w_id) {
+  OrderStatusParams p;
+  p.w_id = w_id;
+  p.d_id =
+      static_cast<int32_t>(rnd->Uniform(1, scale.districts_per_warehouse));
+  p.by_name = rnd->Uniform(1, 100) <= 60;
+  if (p.by_name) {
+    p.c_last = TpccRandom::LastName(rnd->NURandLastNameRun(
+        std::min<int64_t>(999, scale.customers_per_district - 1)));
+  } else {
+    p.c_id = static_cast<int32_t>(
+        rnd->NURandCustomerId(scale.customers_per_district));
+  }
+  return p;
+}
+
+DeliveryParams MakeDeliveryParams(TpccRandom* rnd, int32_t w_id) {
+  DeliveryParams p;
+  p.w_id = w_id;
+  p.carrier_id = static_cast<int32_t>(rnd->Uniform(1, 10));
+  return p;
+}
+
+StockLevelParams MakeStockLevelParams(TpccRandom* rnd, int32_t w_id) {
+  StockLevelParams p;
+  p.w_id = w_id;
+  p.d_id = static_cast<int32_t>(rnd->Uniform(1, 10));
+  p.threshold = static_cast<int32_t>(rnd->Uniform(10, 20));
+  return p;
+}
+
+// ---------------------------------------------------------------------------
+// NewOrder (clause 2.4)
+// ---------------------------------------------------------------------------
+
+TxnTask NewOrderTxn(Workload* w, TaskEnv* env, NewOrderParams p) {
+  TxnScope txn_prof;
+  OpContext* ctx = &env->ctx;
+  Database* db = w->db;
+  Tables& t = w->tables;
+  Transaction* txn = db->BeginDefault(env->global_slot_id);
+  db->StatementBegin(txn);
+  Status st;
+
+  // Warehouse tax.
+  RowId w_rid = 0;
+  std::string w_row;
+  TPCC_OP(t.warehouse->IndexGet(ctx, txn, Tables::kPk, {I32V(p.w_id)}, &w_rid,
+                                &w_row));
+  double w_tax = RowView(&t.warehouse->schema(), w_row.data())
+                     .GetDouble(Warehouse::kTax);
+
+  // District: read tax and atomically fetch-and-increment next_o_id.
+  RowId d_rid = 0;
+  TPCC_OP(t.district->IndexGet(ctx, txn, Tables::kPk,
+                               {I32V(p.w_id), I32V(p.d_id)}, &d_rid,
+                               nullptr));
+  double d_tax = 0;
+  int32_t o_id = 0;
+  TPCC_OP(t.district->UpdateApply(
+      ctx, txn, d_rid,
+      [&d_tax, &o_id](RowView cur,
+                      std::vector<std::pair<uint32_t, Value>>* sets) {
+        d_tax = cur.GetDouble(District::kTax);
+        o_id = cur.GetInt32(District::kNextOId);
+        sets->push_back({District::kNextOId, I32V(o_id + 1)});
+        return Status::OK();
+      }));
+
+  // Customer discount / last / credit.
+  RowId c_rid = 0;
+  std::string c_row;
+  TPCC_OP(t.customer->IndexGet(ctx, txn, Tables::kPk,
+                               {I32V(p.w_id), I32V(p.d_id), I32V(p.c_id)},
+                               &c_rid, &c_row));
+  double c_discount =
+      RowView(&t.customer->schema(), c_row.data())
+          .GetDouble(Customer::kDiscount);
+
+  // Insert ORDER and NEW-ORDER rows.
+  bool all_local = true;
+  for (int i = 0; i < p.ol_cnt; ++i) {
+    if (p.lines[i].supply_w_id != p.w_id) all_local = false;
+  }
+  {
+    RowBuilder b(&t.order->schema());
+    b.SetInt32(Order::kId, o_id)
+        .SetInt32(Order::kDId, p.d_id)
+        .SetInt32(Order::kWId, p.w_id)
+        .SetInt32(Order::kCId, p.c_id)
+        .SetInt64(Order::kEntryD, kNowDate)
+        .SetNull(Order::kCarrierId)
+        .SetInt32(Order::kOlCnt, p.ol_cnt)
+        .SetInt32(Order::kAllLocal, all_local ? 1 : 0);
+    Result<std::string> row = b.Encode();
+    if (!row.ok()) co_return AbortWith(w, env, txn, row.status());
+    RowId rid = 0;
+    TPCC_OP(t.order->Insert(ctx, txn, row.value(), &rid));
+  }
+  {
+    RowBuilder b(&t.new_order->schema());
+    b.SetInt32(NewOrder::kOId, o_id)
+        .SetInt32(NewOrder::kDId, p.d_id)
+        .SetInt32(NewOrder::kWId, p.w_id);
+    Result<std::string> row = b.Encode();
+    if (!row.ok()) co_return AbortWith(w, env, txn, row.status());
+    RowId rid = 0;
+    TPCC_OP(t.new_order->Insert(ctx, txn, row.value(), &rid));
+  }
+
+  // Order lines.
+  double total = 0;
+  for (int i = 0; i < p.ol_cnt; ++i) {
+    const auto& line = p.lines[i];
+    RowId i_rid = 0;
+    std::string i_row;
+    PHOEBE_CO_AWAIT(st, t.item->IndexGet(ctx, txn, Tables::kPk,
+                                         {I32V(line.i_id)}, &i_rid, &i_row));
+    if (st.IsNotFound()) {
+      // Clause 2.4.2.3: unused item -> user-initiated rollback.
+      co_return AbortWith(w, env, txn, Status::Aborted("unused item"),
+                          /*user_initiated=*/true);
+    }
+    if (!st.ok()) co_return AbortWith(w, env, txn, st);
+    RowView i_view(&t.item->schema(), i_row.data());
+    double i_price = i_view.GetDouble(Item::kPrice);
+
+    RowId s_rid = 0;
+    TPCC_OP(t.stock->IndexGet(ctx, txn, Tables::kPk,
+                              {I32V(line.supply_w_id), I32V(line.i_id)},
+                              &s_rid, nullptr));
+    uint32_t dist_col = Stock::kDist01 + static_cast<uint32_t>(p.d_id - 1);
+    std::string dist_info;
+    bool remote = line.supply_w_id != p.w_id;
+    TPCC_OP(t.stock->UpdateApply(
+        ctx, txn, s_rid,
+        [&line, &dist_info, dist_col, remote](
+            RowView cur, std::vector<std::pair<uint32_t, Value>>* sets) {
+          int32_t new_qty = cur.GetInt32(Stock::kQuantity) - line.quantity;
+          if (new_qty < 10) new_qty += 91;
+          dist_info = cur.GetString(dist_col).ToString();
+          sets->push_back({Stock::kQuantity, I32V(new_qty)});
+          sets->push_back(
+              {Stock::kYtd,
+               Value::Double(cur.GetDouble(Stock::kYtd) + line.quantity)});
+          sets->push_back(
+              {Stock::kOrderCnt, I32V(cur.GetInt32(Stock::kOrderCnt) + 1)});
+          if (remote) {
+            sets->push_back({Stock::kRemoteCnt,
+                             I32V(cur.GetInt32(Stock::kRemoteCnt) + 1)});
+          }
+          return Status::OK();
+        }));
+
+    double amount = line.quantity * i_price;
+    total += amount;
+    RowBuilder b(&t.order_line->schema());
+    b.SetInt32(OrderLine::kOId, o_id)
+        .SetInt32(OrderLine::kDId, p.d_id)
+        .SetInt32(OrderLine::kWId, p.w_id)
+        .SetInt32(OrderLine::kNumber, i + 1)
+        .SetInt32(OrderLine::kIId, line.i_id)
+        .SetInt32(OrderLine::kSupplyWId, line.supply_w_id)
+        .SetNull(OrderLine::kDeliveryD)
+        .SetInt32(OrderLine::kQuantity, line.quantity)
+        .SetDouble(OrderLine::kAmount, amount)
+        .SetString(OrderLine::kDistInfo, dist_info);
+    Result<std::string> row = b.Encode();
+    if (!row.ok()) co_return AbortWith(w, env, txn, row.status());
+    RowId rid = 0;
+    TPCC_OP(t.order_line->Insert(ctx, txn, row.value(), &rid));
+  }
+  total *= (1 - c_discount) * (1 + w_tax + d_tax);
+  (void)total;
+
+  uint64_t commit_t0 = NowNanos();
+  PHOEBE_CO_AWAIT(st, db->Commit(ctx, txn));
+  w->commit_wait_ns.fetch_add(NowNanos() - commit_t0,
+                              std::memory_order_relaxed);
+  if (!st.ok()) co_return AbortWith(w, env, txn, st);
+  w->new_order_commits.fetch_add(1, std::memory_order_relaxed);
+  co_return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// Payment (clause 2.5)
+// ---------------------------------------------------------------------------
+
+TxnTask PaymentTxn(Workload* w, TaskEnv* env, PaymentParams p) {
+  TxnScope txn_prof;
+  OpContext* ctx = &env->ctx;
+  Database* db = w->db;
+  Tables& t = w->tables;
+  Transaction* txn = db->BeginDefault(env->global_slot_id);
+  db->StatementBegin(txn);
+  Status st;
+
+  // Warehouse: atomically ytd += amount; read the name while there.
+  RowId w_rid = 0;
+  TPCC_OP(t.warehouse->IndexGet(ctx, txn, Tables::kPk, {I32V(p.w_id)}, &w_rid,
+                                nullptr));
+  std::string w_name;
+  TPCC_OP(t.warehouse->UpdateApply(
+      ctx, txn, w_rid,
+      [&w_name, &p](RowView cur,
+                    std::vector<std::pair<uint32_t, Value>>* sets) {
+        w_name = cur.GetString(Warehouse::kName).ToString();
+        sets->push_back(
+            {Warehouse::kYtd,
+             Value::Double(cur.GetDouble(Warehouse::kYtd) + p.amount)});
+        return Status::OK();
+      }));
+
+  // District: atomically ytd += amount.
+  RowId d_rid = 0;
+  TPCC_OP(t.district->IndexGet(ctx, txn, Tables::kPk,
+                               {I32V(p.w_id), I32V(p.d_id)}, &d_rid,
+                               nullptr));
+  std::string d_name;
+  TPCC_OP(t.district->UpdateApply(
+      ctx, txn, d_rid,
+      [&d_name, &p](RowView cur,
+                    std::vector<std::pair<uint32_t, Value>>* sets) {
+        d_name = cur.GetString(District::kName).ToString();
+        sets->push_back(
+            {District::kYtd,
+             Value::Double(cur.GetDouble(District::kYtd) + p.amount)});
+        return Status::OK();
+      }));
+
+  // Customer selection (60% by last name -> middle row).
+  RowId c_rid = 0;
+  std::string c_row;
+  if (p.by_name) {
+    std::vector<std::pair<RowId, std::string>> matches;
+    TPCC_OP(t.customer->IndexScan(
+        ctx, txn, Tables::kCustByName,
+        {I32V(p.c_w_id), I32V(p.c_d_id), Value::String(p.c_last)}, {},
+        [&matches](RowId rid, const std::string& row) {
+          matches.emplace_back(rid, row);
+          return true;
+        }));
+    if (matches.empty()) {
+      co_return AbortWith(w, env, txn, Status::NotFound("no such customer"));
+    }
+    size_t pick = matches.size() / 2;  // ceil(n/2) with 0-based index
+    c_rid = matches[pick].first;
+    c_row = std::move(matches[pick].second);
+  } else {
+    TPCC_OP(t.customer->IndexGet(
+        ctx, txn, Tables::kPk,
+        {I32V(p.c_w_id), I32V(p.c_d_id), I32V(p.c_id)}, &c_rid, &c_row));
+  }
+  int32_t c_id =
+      RowView(&t.customer->schema(), c_row.data()).GetInt32(Customer::kId);
+  TPCC_OP(t.customer->UpdateApply(
+      ctx, txn, c_rid,
+      [&p, c_id](RowView cur,
+                 std::vector<std::pair<uint32_t, Value>>* sets) {
+        sets->push_back(
+            {Customer::kBalance,
+             Value::Double(cur.GetDouble(Customer::kBalance) - p.amount)});
+        sets->push_back({Customer::kYtdPayment,
+                         Value::Double(cur.GetDouble(Customer::kYtdPayment) +
+                                       p.amount)});
+        sets->push_back({Customer::kPaymentCnt,
+                         I32V(cur.GetInt32(Customer::kPaymentCnt) + 1)});
+        if (cur.GetString(Customer::kCredit) == Slice("BC")) {
+          // Bad credit: prepend the payment info (clause 2.5.2.2).
+          std::string data =
+              std::to_string(c_id) + " " + std::to_string(p.c_d_id) + " " +
+              std::to_string(p.c_w_id) + " " + std::to_string(p.d_id) + " " +
+              std::to_string(p.w_id) + " " + std::to_string(p.amount) + "|" +
+              cur.GetString(Customer::kData).ToString();
+          if (data.size() > 500) data.resize(500);
+          sets->push_back({Customer::kData, Value::String(std::move(data))});
+        }
+        return Status::OK();
+      }));
+
+  // History row.
+  {
+    RowBuilder b(&t.history->schema());
+    b.SetInt32(History::kCId, c_id)
+        .SetInt32(History::kCDId, p.c_d_id)
+        .SetInt32(History::kCWId, p.c_w_id)
+        .SetInt32(History::kDId, p.d_id)
+        .SetInt32(History::kWId, p.w_id)
+        .SetInt64(History::kDate, kNowDate)
+        .SetDouble(History::kAmount, p.amount)
+        .SetString(History::kData, w_name + "    " + d_name);
+    Result<std::string> row = b.Encode();
+    if (!row.ok()) co_return AbortWith(w, env, txn, row.status());
+    RowId rid = 0;
+    TPCC_OP(t.history->Insert(ctx, txn, row.value(), &rid));
+  }
+
+  uint64_t commit_t0 = NowNanos();
+  PHOEBE_CO_AWAIT(st, db->Commit(ctx, txn));
+  w->commit_wait_ns.fetch_add(NowNanos() - commit_t0,
+                              std::memory_order_relaxed);
+  if (!st.ok()) co_return AbortWith(w, env, txn, st);
+  w->payment_commits.fetch_add(1, std::memory_order_relaxed);
+  co_return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// OrderStatus (clause 2.6)
+// ---------------------------------------------------------------------------
+
+TxnTask OrderStatusTxn(Workload* w, TaskEnv* env, OrderStatusParams p) {
+  TxnScope txn_prof;
+  OpContext* ctx = &env->ctx;
+  Database* db = w->db;
+  Tables& t = w->tables;
+  Transaction* txn = db->BeginDefault(env->global_slot_id);
+  db->StatementBegin(txn);
+  Status st;
+
+  RowId c_rid = 0;
+  std::string c_row;
+  if (p.by_name) {
+    std::vector<std::pair<RowId, std::string>> matches;
+    TPCC_OP(t.customer->IndexScan(
+        ctx, txn, Tables::kCustByName,
+        {I32V(p.w_id), I32V(p.d_id), Value::String(p.c_last)}, {},
+        [&matches](RowId rid, const std::string& row) {
+          matches.emplace_back(rid, row);
+          return true;
+        }));
+    if (matches.empty()) {
+      co_return AbortWith(w, env, txn, Status::NotFound("no such customer"));
+    }
+    size_t pick = matches.size() / 2;
+    c_rid = matches[pick].first;
+    c_row = std::move(matches[pick].second);
+  } else {
+    TPCC_OP(t.customer->IndexGet(ctx, txn, Tables::kPk,
+                                 {I32V(p.w_id), I32V(p.d_id), I32V(p.c_id)},
+                                 &c_rid, &c_row));
+  }
+  int32_t c_id = RowView(&t.customer->schema(), c_row.data())
+                     .GetInt32(Customer::kId);
+
+  // Latest order of the customer (max o_id).
+  RowId last_order_rid = 0;
+  std::string last_order;
+  TPCC_OP(t.order->IndexScan(
+      ctx, txn, Tables::kOrderByCust,
+      {I32V(p.w_id), I32V(p.d_id), I32V(c_id)}, {},
+      [&](RowId rid, const std::string& row) {
+        last_order_rid = rid;
+        last_order = row;
+        return true;  // keep going: last match = max o_id
+      }));
+  if (last_order.empty()) {
+    co_return AbortWith(w, env, txn, Status::NotFound("no orders"));
+  }
+  int32_t o_id =
+      RowView(&t.order->schema(), last_order.data()).GetInt32(Order::kId);
+
+  // Its order lines.
+  int line_count = 0;
+  TPCC_OP(t.order_line->IndexScan(
+      ctx, txn, Tables::kPk, {I32V(p.w_id), I32V(p.d_id), I32V(o_id)}, {},
+      [&line_count](RowId, const std::string&) {
+        ++line_count;
+        return true;
+      }));
+  (void)line_count;
+
+  uint64_t commit_t0 = NowNanos();
+  PHOEBE_CO_AWAIT(st, db->Commit(ctx, txn));
+  w->commit_wait_ns.fetch_add(NowNanos() - commit_t0,
+                              std::memory_order_relaxed);
+  if (!st.ok()) co_return AbortWith(w, env, txn, st);
+  w->order_status_commits.fetch_add(1, std::memory_order_relaxed);
+  co_return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// Delivery (clause 2.7)
+// ---------------------------------------------------------------------------
+
+TxnTask DeliveryTxn(Workload* w, TaskEnv* env, DeliveryParams p) {
+  TxnScope txn_prof;
+  OpContext* ctx = &env->ctx;
+  Database* db = w->db;
+  Tables& t = w->tables;
+  Transaction* txn = db->BeginDefault(env->global_slot_id);
+  db->StatementBegin(txn);
+  Status st;
+
+  for (int32_t d_id = 1; d_id <= w->scale.districts_per_warehouse; ++d_id) {
+    // Oldest undelivered order of this district.
+    RowId no_rid = 0;
+    int32_t o_id = -1;
+    TPCC_OP(t.new_order->IndexScan(
+        ctx, txn, Tables::kPk, {I32V(p.w_id), I32V(d_id)}, {},
+        [&](RowId rid, const std::string& row) {
+          no_rid = rid;
+          o_id = RowView(&t.new_order->schema(), row.data())
+                     .GetInt32(NewOrder::kOId);
+          return false;  // first = min o_id
+        }));
+    if (o_id < 0) continue;  // district has no pending orders
+
+    PHOEBE_CO_AWAIT(st, t.new_order->Delete(ctx, txn, no_rid));
+    if (st.IsNotFound()) continue;  // another delivery raced us
+    if (st.IsAborted()) co_return AbortWith(w, env, txn, st);
+    if (!st.ok()) co_return AbortWith(w, env, txn, st);
+
+    // Order: set carrier, read customer.
+    RowId o_rid = 0;
+    std::string o_row;
+    TPCC_OP(t.order->IndexGet(ctx, txn, Tables::kPk,
+                              {I32V(p.w_id), I32V(d_id), I32V(o_id)}, &o_rid,
+                              &o_row));
+    int32_t c_id =
+        RowView(&t.order->schema(), o_row.data()).GetInt32(Order::kCId);
+    TPCC_OP(t.order->Update(ctx, txn, o_rid,
+                            {{Order::kCarrierId, I32V(p.carrier_id)}}));
+
+    // Order lines: set delivery date, sum amounts.
+    double total = 0;
+    std::vector<RowId> ol_rids;
+    TPCC_OP(t.order_line->IndexScan(
+        ctx, txn, Tables::kPk, {I32V(p.w_id), I32V(d_id), I32V(o_id)}, {},
+        [&](RowId rid, const std::string& row) {
+          total += RowView(&t.order_line->schema(), row.data())
+                       .GetDouble(OrderLine::kAmount);
+          ol_rids.push_back(rid);
+          return true;
+        }));
+    for (RowId rid : ol_rids) {
+      TPCC_OP(t.order_line->Update(
+          ctx, txn, rid, {{OrderLine::kDeliveryD, Value::Int64(kNowDate)}}));
+    }
+
+    // Customer: balance += total, delivery_cnt += 1.
+    RowId c_rid = 0;
+    TPCC_OP(t.customer->IndexGet(ctx, txn, Tables::kPk,
+                                 {I32V(p.w_id), I32V(d_id), I32V(c_id)},
+                                 &c_rid, nullptr));
+    TPCC_OP(t.customer->UpdateApply(
+        ctx, txn, c_rid,
+        [total](RowView cur,
+                std::vector<std::pair<uint32_t, Value>>* sets) {
+          sets->push_back(
+              {Customer::kBalance,
+               Value::Double(cur.GetDouble(Customer::kBalance) + total)});
+          sets->push_back({Customer::kDeliveryCnt,
+                           I32V(cur.GetInt32(Customer::kDeliveryCnt) + 1)});
+          return Status::OK();
+        }));
+  }
+
+  uint64_t commit_t0 = NowNanos();
+  PHOEBE_CO_AWAIT(st, db->Commit(ctx, txn));
+  w->commit_wait_ns.fetch_add(NowNanos() - commit_t0,
+                              std::memory_order_relaxed);
+  if (!st.ok()) co_return AbortWith(w, env, txn, st);
+  w->delivery_commits.fetch_add(1, std::memory_order_relaxed);
+  co_return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// StockLevel (clause 2.8)
+// ---------------------------------------------------------------------------
+
+TxnTask StockLevelTxn(Workload* w, TaskEnv* env, StockLevelParams p) {
+  TxnScope txn_prof;
+  OpContext* ctx = &env->ctx;
+  Database* db = w->db;
+  Tables& t = w->tables;
+  Transaction* txn = db->BeginDefault(env->global_slot_id);
+  db->StatementBegin(txn);
+  Status st;
+
+  RowId d_rid = 0;
+  std::string d_row;
+  TPCC_OP(t.district->IndexGet(ctx, txn, Tables::kPk,
+                               {I32V(p.w_id), I32V(p.d_id)}, &d_rid, &d_row));
+  int32_t next_o_id =
+      RowView(&t.district->schema(), d_row.data())
+          .GetInt32(District::kNextOId);
+
+  // Items of the last 20 orders.
+  std::set<int32_t> item_ids;
+  int32_t lo_o_id = std::max(1, next_o_id - 20);
+  TPCC_OP(t.order_line->IndexScan(
+      ctx, txn, Tables::kPk,
+      {I32V(p.w_id), I32V(p.d_id), I32V(lo_o_id)},
+      {I32V(p.w_id), I32V(p.d_id), I32V(next_o_id)},
+      [&](RowId, const std::string& row) {
+        item_ids.insert(RowView(&t.order_line->schema(), row.data())
+                            .GetInt32(OrderLine::kIId));
+        return true;
+      }));
+
+  int low_stock = 0;
+  for (int32_t i_id : item_ids) {
+    RowId s_rid = 0;
+    std::string s_row;
+    PHOEBE_CO_AWAIT(st, t.stock->IndexGet(ctx, txn, Tables::kPk,
+                                          {I32V(p.w_id), I32V(i_id)}, &s_rid,
+                                          &s_row));
+    if (st.IsNotFound()) continue;
+    if (!st.ok()) co_return AbortWith(w, env, txn, st);
+    if (RowView(&t.stock->schema(), s_row.data())
+            .GetInt32(Stock::kQuantity) < p.threshold) {
+      ++low_stock;
+    }
+  }
+  (void)low_stock;
+
+  uint64_t commit_t0 = NowNanos();
+  PHOEBE_CO_AWAIT(st, db->Commit(ctx, txn));
+  w->commit_wait_ns.fetch_add(NowNanos() - commit_t0,
+                              std::memory_order_relaxed);
+  if (!st.ok()) co_return AbortWith(w, env, txn, st);
+  w->stock_level_commits.fetch_add(1, std::memory_order_relaxed);
+  co_return Status::OK();
+}
+
+}  // namespace tpcc
+}  // namespace phoebe

@@ -1,0 +1,213 @@
+#include "txn/txn_manager.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cassert>
+
+#include "common/profiler.h"
+
+namespace phoebe {
+
+TxnManager::TxnManager(uint32_t num_slots, GlobalClock* clock)
+    : clock_(clock) {
+  slots_.reserve(num_slots);
+  for (uint32_t i = 0; i < num_slots; ++i) {
+    slots_.push_back(std::make_unique<SlotState>());
+    slots_.back()->txn.slot_id_ = i;
+  }
+}
+
+Transaction* TxnManager::Begin(uint32_t slot_id, IsolationLevel iso) {
+  SlotState& s = *slots_[slot_id];
+  if (s.active_xid.load(std::memory_order_relaxed) != 0) {
+    // A slot runs one transaction at a time (Section 7.1); starting a
+    // second would corrupt the slot's UNDO arena ordering. Fail loudly.
+    fprintf(stderr,
+            "FATAL: Begin() on slot %u which already has an active "
+            "transaction\n",
+            slot_id);
+    abort();
+  }
+
+  // Begin protocol (see DESIGN.md / GC discussion): publish a conservative
+  // lower bound + pending marker BEFORE allocating the real timestamp, so a
+  // concurrent watermark scan can never overshoot us.
+  s.active_start_ts.store(clock_->Current() + 1, std::memory_order_relaxed);
+  s.active_xid.store(kPendingXid, std::memory_order_release);
+
+  Timestamp ts = clock_->Next();
+  Xid xid = MakeXid(ts);
+
+  Transaction& txn = s.txn;
+  txn.xid_ = xid;
+  txn.start_ts_ = ts;
+  txn.snapshot_ = ts;
+  txn.isolation_ = iso;
+  txn.state_ = TxnState::kActive;
+  txn.undo_head_ = nullptr;
+  txn.undo_count_ = 0;
+  txn.last_lsn = 0;
+  txn.max_gsn = 0;
+  txn.remote_dependency = false;
+  txn.rows_read = 0;
+  txn.rows_written = 0;
+
+  s.active_start_ts.store(ts, std::memory_order_relaxed);
+  s.active_snapshot.store(ts, std::memory_order_relaxed);
+  s.active_xid.store(xid, std::memory_order_release);
+  return &txn;
+}
+
+void TxnManager::RefreshStatementSnapshot(Transaction* txn) {
+  if (txn->isolation_ != IsolationLevel::kReadCommitted) return;
+  // O(1) snapshot acquisition: a single clock load (Section 6.1).
+  Timestamp snap = clock_->Current();
+  txn->snapshot_ = snap;
+  slots_[txn->slot_id_]->active_snapshot.store(snap,
+                                               std::memory_order_relaxed);
+}
+
+Timestamp TxnManager::PrepareCommit(Transaction* txn) {
+  ComponentScope prof(Component::kMvcc);
+  Timestamp cts = clock_->Next();
+  // Single scan over the transaction's UNDO list (Section 6.2).
+  for (UndoRecord* rec = txn->undo_head_; rec != nullptr;
+       rec = rec->txn_next) {
+    rec->ets.store(cts, std::memory_order_release);
+  }
+  txn->state_ = TxnState::kCommitted;
+  return cts;
+}
+
+void TxnManager::FinishTransaction(Transaction* txn, bool committed) {
+  SlotState& s = *slots_[txn->slot_id_];
+  Xid xid = txn->xid_;
+  txn->state_ = committed ? TxnState::kCommitted : TxnState::kAborted;
+  {
+    std::lock_guard<std::mutex> lk(s.mu);
+    s.active_xid.store(0, std::memory_order_release);
+    s.active_start_ts.store(0, std::memory_order_relaxed);
+  }
+  s.cv.notify_all();
+  if (on_finish_) on_finish_(xid);
+}
+
+bool TxnManager::IsXidActive(Xid xid) const {
+  for (const auto& s : slots_) {
+    if (s->active_xid.load(std::memory_order_acquire) == xid) return true;
+  }
+  return false;
+}
+
+void TxnManager::WaitForXid(Xid xid) {
+  for (auto& s : slots_) {
+    if (s->active_xid.load(std::memory_order_acquire) == xid) {
+      std::unique_lock<std::mutex> lk(s->mu);
+      s->cv.wait(lk, [&] {
+        return s->active_xid.load(std::memory_order_acquire) != xid;
+      });
+      return;
+    }
+  }
+}
+
+void TxnManager::WaitForXidFor(Xid xid, uint64_t micros) {
+  for (auto& s : slots_) {
+    if (s->active_xid.load(std::memory_order_acquire) == xid) {
+      std::unique_lock<std::mutex> lk(s->mu);
+      s->cv.wait_for(lk, std::chrono::microseconds(micros), [&] {
+        return s->active_xid.load(std::memory_order_acquire) != xid;
+      });
+      return;
+    }
+  }
+}
+
+Timestamp TxnManager::MinActiveStartTs() const {
+  // Capture the clock BEFORE scanning: any begin we miss has ts > this.
+  Timestamp min_ts = clock_->Current() + 1;
+  for (const auto& s : slots_) {
+    uint64_t xid = s->active_xid.load(std::memory_order_acquire);
+    if (xid == 0) continue;
+    Timestamp ts = s->active_start_ts.load(std::memory_order_relaxed);
+    min_ts = std::min(min_ts, ts);
+  }
+  return min_ts;
+}
+
+Timestamp TxnManager::MaxFrozenStartTs() const {
+  Timestamp min_ts = ~0ull;
+  for (const auto& s : slots_) {
+    min_ts = std::min(
+        min_ts, s->last_reclaimed_start_ts.load(std::memory_order_relaxed));
+  }
+  return min_ts == ~0ull ? 0 : min_ts;
+}
+
+size_t TxnManager::RunUndoGc(uint32_t slot_id) {
+  ComponentScope prof(Component::kGc);
+  SlotState& s = *slots_[slot_id];
+  Timestamp min_active = MinActiveStartTs();
+  uint64_t last_ets = 0;
+  size_t n = s.arena.ReclaimWhile(
+      [min_active](const UndoRecord& rec) {
+        uint64_t ets = rec.ets.load(std::memory_order_acquire);
+        if (IsXid(ets) || ets == 0) return false;  // still active
+        return ets < min_active;
+      },
+      reclaim_hook_, &last_ets);
+  if (n > 0 && last_ets != 0) {
+    // The reclaimed commit ts bounds the reclaimed txn's start ts.
+    s.last_reclaimed_start_ts.store(last_ets, std::memory_order_relaxed);
+  }
+  return n;
+}
+
+void TxnManager::RegisterTwin(BufferFrame* bf) {
+  std::lock_guard<std::mutex> lk(twin_mu_);
+  twin_frames_.push_back(bf);
+}
+
+size_t TxnManager::SweepTwinTables() {
+  ComponentScope prof(Component::kGc);
+  std::vector<BufferFrame*> frames;
+  {
+    std::lock_guard<std::mutex> lk(twin_mu_);
+    frames.swap(twin_frames_);
+  }
+  size_t destroyed = 0;
+  std::vector<BufferFrame*> keep;
+  for (BufferFrame* bf : frames) {
+    TwinTable* t = TwinTable::Of(bf);
+    if (t == nullptr) {
+      ++destroyed;  // already gone
+      continue;
+    }
+    bool freed = false;
+    if (t->AllChainsDead() && bf->latch.TryLockExclusive()) {
+      // Re-verify under the latch: a writer may have raced in.
+      TwinTable* cur = TwinTable::Of(bf);
+      if (cur == t && t->AllChainsDead()) {
+        TwinTable::Destroy(bf);
+        freed = true;
+        ++destroyed;
+      }
+      bf->latch.UnlockExclusive();
+    }
+    if (!freed) keep.push_back(bf);
+  }
+  if (!keep.empty()) {
+    std::lock_guard<std::mutex> lk(twin_mu_);
+    for (BufferFrame* bf : keep) twin_frames_.push_back(bf);
+  }
+  return destroyed;
+}
+
+size_t TxnManager::TotalLiveUndo() const {
+  size_t n = 0;
+  for (const auto& s : slots_) n += s->arena.live_count();
+  return n;
+}
+
+}  // namespace phoebe

@@ -1,0 +1,147 @@
+#ifndef PHOEBE_TXN_TXN_MANAGER_H_
+#define PHOEBE_TXN_TXN_MANAGER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "buffer/buffer_frame.h"
+#include "common/constants.h"
+#include "common/status.h"
+#include "txn/clock.h"
+#include "txn/transaction.h"
+#include "txn/twin_table.h"
+#include "txn/undo.h"
+
+namespace phoebe {
+
+/// Sentinel published while a transaction is allocating its start timestamp
+/// (lets the GC watermark scan account for in-flight begins).
+inline constexpr uint64_t kPendingXid = kXidTagBit;
+
+/// Transaction manager: slot registry, the transaction-ID lock protocol
+/// (Section 7.2), watermark computation and UNDO/twin-table GC (Section 7.3).
+///
+/// Each task slot runs at most one transaction at a time; the slot id doubles
+/// as the WAL-writer id and the UNDO-arena id, which is what makes commit
+/// timestamps per slot strictly ordered and reclamation queue-like.
+class TxnManager {
+ public:
+  struct SlotState {
+    /// 0 = free, kPendingXid = starting, else the active transaction's XID.
+    std::atomic<uint64_t> active_xid{0};
+    /// Lower bound of (then exactly) the active transaction's start ts.
+    std::atomic<uint64_t> active_start_ts{0};
+    /// Snapshot currently in use (refreshed per statement under RC).
+    std::atomic<uint64_t> active_snapshot{0};
+    /// start_ts of the newest transaction whose UNDO was fully reclaimed.
+    std::atomic<uint64_t> last_reclaimed_start_ts{0};
+
+    Transaction txn;
+    UndoArena arena;
+
+    /// Wakeup channel for the transaction-ID lock: waiters block here until
+    /// this slot's transaction finishes (sync mode).
+    std::mutex mu;
+    std::condition_variable cv;
+  };
+
+  TxnManager(uint32_t num_slots, GlobalClock* clock);
+
+  uint32_t num_slots() const {
+    return static_cast<uint32_t>(slots_.size());
+  }
+  SlotState& slot(uint32_t i) { return *slots_[i]; }
+  GlobalClock* clock() { return clock_; }
+
+  /// --- Transaction lifecycle -----------------------------------------------
+
+  /// Begins a transaction on `slot_id` (which must be idle). Acquires the
+  /// exclusive lock on its own transaction ID implicitly (the slot's
+  /// active_xid IS the lock).
+  Transaction* Begin(uint32_t slot_id, IsolationLevel iso);
+
+  /// Refreshes a read-committed transaction's per-statement snapshot.
+  void RefreshStatementSnapshot(Transaction* txn);
+
+  /// Overrides a transaction's snapshot (baseline PostgreSQL-style snapshot
+  /// scans compute the timestamp externally).
+  void SetSnapshot(Transaction* txn, Timestamp snap) {
+    txn->snapshot_ = snap;
+    slots_[txn->slot_id_]->active_snapshot.store(snap,
+                                                 std::memory_order_relaxed);
+  }
+
+  /// Allocates the commit timestamp and updates every UNDO record's ets in
+  /// one scan of the transaction list (Section 6.2). Does NOT publish the
+  /// finish; call FinishTransaction after the WAL commit wait.
+  Timestamp PrepareCommit(Transaction* txn);
+
+  /// Marks the transaction finished: clears the slot's XID (releasing the
+  /// transaction-ID lock) and wakes all shared-lock waiters.
+  void FinishTransaction(Transaction* txn, bool committed);
+
+  /// --- Transaction-ID locks -------------------------------------------------
+
+  /// True while `xid` belongs to an active (unfinished) transaction.
+  bool IsXidActive(Xid xid) const;
+
+  /// Blocks the calling OS thread until `xid` finishes (synchronous mode;
+  /// coroutine mode yields with WaitKind::kXidLock instead and the scheduler
+  /// uses the on_finish hook below).
+  void WaitForXid(Xid xid);
+
+  /// Bounded wait: returns once `xid` finished or `micros` elapsed.
+  void WaitForXidFor(Xid xid, uint64_t micros);
+
+  /// Invoked (after the slot is cleared) with every finished XID; the
+  /// runtime's scheduler hooks this to wake parked coroutines.
+  void set_on_finish(std::function<void(Xid)> fn) {
+    on_finish_ = std::move(fn);
+  }
+
+  /// --- Watermarks & GC (Section 7.3) ----------------------------------------
+
+  /// Minimum start timestamp over active transactions; when none are active,
+  /// a clock value captured before the scan (safe per the begin protocol).
+  Timestamp MinActiveStartTs() const;
+
+  /// Max-frozen watermark: minimum over slots of the last reclaimed
+  /// transaction start ts (0 until every slot reclaimed something).
+  Timestamp MaxFrozenStartTs() const;
+
+  /// Hook invoked for every reclaimed UNDO record (deleted-tuple purge and
+  /// stale-index cleanup run here, implemented by the core Table layer).
+  using ReclaimHook = std::function<void(const UndoRecord&)>;
+  void set_reclaim_hook(ReclaimHook hook) { reclaim_hook_ = std::move(hook); }
+
+  /// Runs UNDO GC for one slot (called by the slot's owning worker). Returns
+  /// the number of records reclaimed.
+  size_t RunUndoGc(uint32_t slot_id);
+
+  /// Registers a page frame that received a twin table.
+  void RegisterTwin(BufferFrame* bf);
+
+  /// Sweeps registered twin tables, destroying the reclaimable ones
+  /// (all chains dead). Returns the number destroyed.
+  size_t SweepTwinTables();
+
+  /// Total live UNDO records across slots (memory pressure signal).
+  size_t TotalLiveUndo() const;
+
+ private:
+  GlobalClock* clock_;
+  std::vector<std::unique_ptr<SlotState>> slots_;
+  std::function<void(Xid)> on_finish_;
+  ReclaimHook reclaim_hook_;
+
+  std::mutex twin_mu_;
+  std::vector<BufferFrame*> twin_frames_;
+};
+
+}  // namespace phoebe
+
+#endif  // PHOEBE_TXN_TXN_MANAGER_H_

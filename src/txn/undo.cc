@@ -1,0 +1,100 @@
+#include "txn/undo.h"
+
+#include <cstdlib>
+#include <functional>
+#include <new>
+
+namespace phoebe {
+
+constexpr uint32_t UndoArena::kClassSizes[4];
+
+UndoArena::~UndoArena() {
+  for (UndoRecord* rec : all_) {
+    rec->~UndoRecord();
+    ::free(rec);
+  }
+}
+
+int UndoArena::SizeClass(size_t n) {
+  for (int i = 0; i < 4; ++i) {
+    if (n <= kClassSizes[i]) return i;
+  }
+  return -1;
+}
+
+UndoRecord* UndoArena::AllocRaw(size_t delta_size) {
+  int cls = SizeClass(delta_size);
+  size_t cap = cls >= 0 ? kClassSizes[cls] : delta_size;
+  if (cls >= 0 && !free_lists_[cls].empty()) {
+    UndoRecord* rec = free_lists_[cls].back();
+    free_lists_[cls].pop_back();
+    return rec;
+  }
+  void* mem = ::malloc(sizeof(UndoRecord) + cap);
+  auto* rec = new (mem) UndoRecord();
+  rec->delta_cap = static_cast<uint32_t>(cap);
+  pooled_bytes_ += sizeof(UndoRecord) + cap;
+  all_.push_back(rec);
+  return rec;
+}
+
+UndoRecord* UndoArena::Alloc(UndoKind kind, RelationId relation, RowId rid,
+                             Slice delta) {
+  UndoRecord* rec = AllocRaw(delta.size());
+  // Fields first, then flip the stamp to live (readers check stamp first).
+  rec->kind = kind;
+  rec->relation = relation;
+  rec->rid = rid;
+  rec->sts.store(0, std::memory_order_relaxed);
+  rec->ets.store(0, std::memory_order_relaxed);
+  rec->next.store(nullptr, std::memory_order_relaxed);
+  rec->txn_next = nullptr;
+  rec->delta_len = static_cast<uint32_t>(delta.size());
+  if (!delta.empty()) memcpy(rec->delta_data(), delta.data(), delta.size());
+  rec->stamp.fetch_add(1, std::memory_order_release);  // odd -> even: live
+  queue_.push_back(rec);
+  live_records_.fetch_add(1, std::memory_order_relaxed);
+  return rec;
+}
+
+void UndoArena::Recycle(UndoRecord* rec) {
+  rec->stamp.fetch_add(1, std::memory_order_release);  // even -> odd: dead
+  int cls = SizeClass(rec->delta_cap);
+  if (cls >= 0 && kClassSizes[cls] == rec->delta_cap) {
+    free_lists_[cls].push_back(rec);
+  } else {
+    free_lists_[3].push_back(rec);  // oversized: park on the largest list
+  }
+  live_records_.fetch_sub(1, std::memory_order_relaxed);
+}
+
+void UndoArena::FreeAborted(UndoRecord* rec) {
+  for (auto it = queue_.rbegin(); it != queue_.rend(); ++it) {
+    if (*it == rec) {
+      queue_.erase(std::next(it).base());
+      Recycle(rec);
+      return;
+    }
+  }
+}
+
+size_t UndoArena::ReclaimWhile(
+    const std::function<bool(const UndoRecord&)>& eligible,
+    const std::function<void(const UndoRecord&)>& on_reclaim,
+    uint64_t* last_ets_reclaimed) {
+  size_t n = 0;
+  while (!queue_.empty()) {
+    UndoRecord* rec = queue_.front();
+    if (!eligible(*rec)) break;
+    if (on_reclaim) on_reclaim(*rec);
+    if (last_ets_reclaimed != nullptr) {
+      *last_ets_reclaimed = rec->ets.load(std::memory_order_relaxed);
+    }
+    queue_.pop_front();
+    Recycle(rec);
+    ++n;
+  }
+  return n;
+}
+
+}  // namespace phoebe

@@ -1,0 +1,120 @@
+#ifndef PHOEBE_TXN_UNDO_H_
+#define PHOEBE_TXN_UNDO_H_
+
+#include <atomic>
+#include <cstdint>
+#include <cstring>
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "common/constants.h"
+#include "common/slice.h"
+
+namespace phoebe {
+
+/// Kind of operation an UNDO record reverses.
+enum class UndoKind : uint8_t {
+  kUpdate = 0,  // delta = before-image column deltas
+  kInsert = 1,  // before-image: tuple did not exist (delta empty)
+  kDelete = 2,  // before-image: tuple existed with the current base values
+};
+
+/// An in-memory UNDO log record (Section 6.2). Records form two chains:
+///   - the *version chain* (`next`): newest-to-oldest versions of one tuple,
+///     headed by the twin-table entry;
+///   - the *transaction list* (`txn_next`): all records of one transaction,
+///     newest first, enabling the single-scan ets -> cts commit update.
+///
+/// Lifetime: records live in per-task-slot arenas and are reclaimed in
+/// allocation (queue) order by GC (Section 7.3). Reclaimed records are
+/// recycled, never returned to the OS while the engine runs, so concurrent
+/// readers can always dereference a pointer; the `stamp` protocol (odd =
+/// dead, even = live, bumped twice per recycle) lets readers detect stale or
+/// torn reads and fall back to the base tuple per Algorithm 1.
+struct UndoRecord {
+  std::atomic<uint64_t> stamp{1};  // starts dead
+  UndoKind kind = UndoKind::kUpdate;
+  RelationId relation = kInvalidRelationId;
+  RowId rid = kInvalidRowId;
+
+  /// sts: commit timestamp of the before image (0 when the previous record
+  /// was reclaimed or the tuple had no prior version).
+  std::atomic<uint64_t> sts{0};
+  /// ets: the owning transaction's XID while active; its commit timestamp
+  /// after commit (Section 6.2).
+  std::atomic<uint64_t> ets{0};
+
+  std::atomic<UndoRecord*> next{nullptr};  // older version
+  UndoRecord* txn_next = nullptr;          // next (older) record of this txn
+
+  uint32_t delta_len = 0;
+  uint32_t delta_cap = 0;  // size class capacity
+  // Delta bytes follow the struct (flexible payload, same allocation).
+
+  char* delta_data() { return reinterpret_cast<char*>(this + 1); }
+  const char* delta_data() const {
+    return reinterpret_cast<const char*>(this + 1);
+  }
+  Slice delta() const { return Slice(delta_data(), delta_len); }
+
+  bool IsLive(uint64_t* stamp_out) const {
+    uint64_t s = stamp.load(std::memory_order_acquire);
+    if (stamp_out != nullptr) *stamp_out = s;
+    return (s & 1) == 0;
+  }
+  bool StampUnchanged(uint64_t s) const {
+    std::atomic_thread_fence(std::memory_order_acquire);
+    return stamp.load(std::memory_order_acquire) == s;
+  }
+};
+
+/// Per-task-slot UNDO arena: size-class pooled allocation with queue-order
+/// reclamation. All mutation (alloc, reclaim, commit-scan) happens on the
+/// slot's owning worker thread; readers on other threads only dereference
+/// record fields under the stamp protocol.
+class UndoArena {
+ public:
+  UndoArena() = default;
+  ~UndoArena();
+  UndoArena(const UndoArena&) = delete;
+  UndoArena& operator=(const UndoArena&) = delete;
+
+  /// Allocates a live record holding `delta`.
+  UndoRecord* Alloc(UndoKind kind, RelationId relation, RowId rid,
+                    Slice delta);
+
+  /// Removes `rec` from the live queue immediately (rollback path: records
+  /// of an aborted transaction are unlinked from version chains first).
+  void FreeAborted(UndoRecord* rec);
+
+  /// Queue-order reclamation: pops records from the front while
+  /// `eligible(rec)` returns true, invoking `on_reclaim(rec)` for each (for
+  /// deleted-tuple purging) before recycling. Returns the number reclaimed
+  /// and sets *last_xid_reclaimed to the ets of the newest reclaimed record.
+  size_t ReclaimWhile(const std::function<bool(const UndoRecord&)>& eligible,
+                      const std::function<void(const UndoRecord&)>& on_reclaim,
+                      uint64_t* last_ets_reclaimed);
+
+  size_t live_count() const {
+    return live_records_.load(std::memory_order_relaxed);
+  }
+  size_t pooled_bytes() const { return pooled_bytes_; }
+
+ private:
+  static constexpr uint32_t kClassSizes[4] = {128, 512, 2048, 8192};
+
+  static int SizeClass(size_t n);
+  UndoRecord* AllocRaw(size_t delta_size);
+  void Recycle(UndoRecord* rec);
+
+  std::deque<UndoRecord*> queue_;  // allocation order (front = oldest)
+  std::vector<UndoRecord*> free_lists_[4];
+  std::vector<UndoRecord*> all_;  // for destruction
+  std::atomic<size_t> live_records_{0};
+  size_t pooled_bytes_ = 0;
+};
+
+}  // namespace phoebe
+
+#endif  // PHOEBE_TXN_UNDO_H_

@@ -1,0 +1,50 @@
+#ifndef PHOEBE_TXN_VISIBILITY_H_
+#define PHOEBE_TXN_VISIBILITY_H_
+
+#include <string>
+
+#include "common/constants.h"
+#include "common/status.h"
+#include "storage/schema.h"
+#include "txn/transaction.h"
+#include "txn/twin_table.h"
+
+namespace phoebe {
+
+/// Result of a visibility check: the tuple version visible to a snapshot.
+struct VisibleVersion {
+  bool exists = false;
+  std::string row;  // encoded row (valid when exists)
+};
+
+/// Retrieve-visible-version (Algorithm 1 in the paper). Inputs:
+///   - `base_row` / `base_deleted`: the in-place (newest) tuple state read
+///     from the PAX page under its latch;
+///   - `entry`: the tuple's twin-table entry, or nullptr when the page has
+///     no twin table (the tuple is immediately visible, line 2);
+///   - `xid` / `snapshot`: the reading transaction's identity and snapshot.
+///
+/// The version chain is walked newest-to-oldest, assembling before-image
+/// deltas until the first record with sts <= snapshot (lines 5-9). Records
+/// reclaimed concurrently are detected via the stamp protocol and resolve to
+/// "base visible" (line 4), matching the paper's reclaimed-pointer rule.
+Status RetrieveVisibleVersion(const Schema& schema, Xid xid,
+                              Timestamp snapshot, Slice base_row,
+                              bool base_deleted, TwinTable::Entry* entry,
+                              RelationId relation, RowId rid,
+                              VisibleVersion* out);
+
+/// Write-conflict decision for updates/deletes (Section 6.2 end):
+///   kOk       -> proceed (no concurrent writer; latest version committed
+///                visibly for this isolation level)
+///   kBlocked  -> another active transaction owns the tuple; wait on its
+///                XID lock and retry (Read Committed), carrying wait_xid
+///   kAborted  -> Repeatable Read first-updater-wins: a concurrent
+///                transaction committed a newer version after our snapshot
+Status CheckWriteConflict(Xid xid, Timestamp snapshot, IsolationLevel iso,
+                          TwinTable::Entry* entry, RelationId relation,
+                          RowId rid);
+
+}  // namespace phoebe
+
+#endif  // PHOEBE_TXN_VISIBILITY_H_

@@ -1,0 +1,81 @@
+#include "wal/record.h"
+
+#include <cstring>
+
+#include "common/coding.h"
+#include "common/crc32.h"
+
+namespace phoebe {
+
+void WalRecordCodec::Encode(WalRecordType type, uint64_t lsn, uint64_t gsn,
+                            Xid xid, Slice payload, std::string* out) {
+  std::string body;
+  body.reserve(25 + payload.size());
+  body.push_back(static_cast<char>(type));
+  PutFixed64(&body, lsn);
+  PutFixed64(&body, gsn);
+  PutFixed64(&body, xid);
+  body.append(payload.data(), payload.size());
+
+  PutFixed32(out, static_cast<uint32_t>(body.size()));
+  PutFixed32(out, MaskCrc(Crc32c(body.data(), body.size())));
+  out->append(body);
+}
+
+Status WalRecordCodec::DecodeNext(Slice* input, uint32_t writer_id,
+                                  WalRecord* out) {
+  if (input->empty()) return Status::NotFound();
+  if (input->size() < kFrameHeader) return Status::Corruption("torn header");
+  uint32_t len = DecodeFixed32(input->data());
+  uint32_t crc = DecodeFixed32(input->data() + 4);
+  if (len < 25 || input->size() < kFrameHeader + len) {
+    return Status::Corruption("torn frame");
+  }
+  const char* body = input->data() + kFrameHeader;
+  if (MaskCrc(Crc32c(body, len)) != crc) {
+    return Status::Corruption("wal crc mismatch");
+  }
+  out->writer_id = writer_id;
+  out->type = static_cast<WalRecordType>(body[0]);
+  out->lsn = DecodeFixed64(body + 1);
+  out->gsn = DecodeFixed64(body + 9);
+  out->xid = DecodeFixed64(body + 17);
+  out->payload.assign(body + 25, len - 25);
+  input->remove_prefix(kFrameHeader + len);
+  return Status::OK();
+}
+
+std::string WalRecordCodec::DataPayload(RelationId rel, RowId rid,
+                                        Slice body) {
+  std::string out;
+  PutVarint32(&out, rel);
+  PutVarint64(&out, rid);
+  out.append(body.data(), body.size());
+  return out;
+}
+
+Status WalRecordCodec::ParseDataPayload(Slice payload, RelationId* rel,
+                                        RowId* rid, Slice* body) {
+  uint32_t r = 0;
+  uint64_t id = 0;
+  if (!GetVarint32(&payload, &r) || !GetVarint64(&payload, &id)) {
+    return Status::Corruption("wal payload");
+  }
+  *rel = r;
+  *rid = id;
+  if (body != nullptr) *body = payload;
+  return Status::OK();
+}
+
+std::string WalRecordCodec::CommitPayload(Timestamp cts) {
+  std::string out;
+  PutVarint64(&out, cts);
+  return out;
+}
+
+Status WalRecordCodec::ParseCommitPayload(Slice payload, Timestamp* cts) {
+  if (!GetVarint64(&payload, cts)) return Status::Corruption("commit payload");
+  return Status::OK();
+}
+
+}  // namespace phoebe

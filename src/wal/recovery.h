@@ -1,0 +1,45 @@
+#ifndef PHOEBE_WAL_RECOVERY_H_
+#define PHOEBE_WAL_RECOVERY_H_
+
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/constants.h"
+#include "common/status.h"
+#include "io/env.h"
+#include "wal/record.h"
+
+namespace phoebe {
+
+/// Crash-recovery scan over the per-slot WAL files (Section 8 + DESIGN.md
+/// recovery model): parses every writer's log up to its first torn record,
+/// determines the committed transaction set, and yields the committed data
+/// records ordered by (GSN, writer, LSN) — the Distributed-Logging merge
+/// order the paper describes.
+class WalRecovery {
+ public:
+  struct ScanResult {
+    /// Committed data records in replay order.
+    std::vector<WalRecord> records;
+    /// xid -> commit timestamp for every durable commit.
+    std::unordered_map<Xid, Timestamp> commits;
+    /// Highest timestamp observed anywhere (clock restart point).
+    Timestamp max_ts = 0;
+    uint64_t total_records = 0;
+    uint64_t skipped_uncommitted = 0;
+  };
+
+  /// Scans all `wal_<i>.log` files under `dir`.
+  static Result<ScanResult> Scan(Env* env, const std::string& dir);
+
+  /// Replays `result.records` through `apply` (stops on first error).
+  static Status Replay(
+      const ScanResult& result,
+      const std::function<Status(const WalRecord&, Timestamp cts)>& apply);
+};
+
+}  // namespace phoebe
+
+#endif  // PHOEBE_WAL_RECOVERY_H_

@@ -1,0 +1,232 @@
+#include "wal/wal_manager.h"
+
+#include <algorithm>
+
+#include "common/profiler.h"
+#include "io/io_stats.h"
+
+namespace phoebe {
+
+// ---------------------------------------------------------------------------
+// WalWriter
+// ---------------------------------------------------------------------------
+
+WalWriter::WalWriter(uint32_t id, std::unique_ptr<File> file,
+                     const std::atomic<bool>* sync_on_flush)
+    : id_(id), file_(std::move(file)), sync_on_flush_(sync_on_flush) {}
+
+uint64_t WalWriter::Append(WalRecordType type, Xid xid, uint64_t gsn,
+                           Slice payload) {
+  std::lock_guard<std::mutex> lk(mu_);
+  uint64_t lsn = next_lsn_++;
+  if (buf_.empty()) {
+    first_pending_gsn_.store(gsn, std::memory_order_release);
+  }
+  WalRecordCodec::Encode(type, lsn, gsn, xid, payload, &buf_);
+  buffered_gsn_ = std::max(buffered_gsn_, gsn);
+  appended_gsn_.store(std::max(appended_gsn_.load(std::memory_order_relaxed),
+                               gsn),
+                      std::memory_order_release);
+  appended_lsn_.store(lsn, std::memory_order_release);
+  if (type == WalRecordType::kCommit) {
+    commit_pending_.store(true, std::memory_order_release);
+  }
+  return lsn;
+}
+
+Result<size_t> WalWriter::Flush() {
+  std::lock_guard<std::mutex> flush_lk(flush_mu_);
+  std::string out;
+  uint64_t lsn, gsn;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (buf_.empty()) return Result<size_t>(static_cast<size_t>(0));
+    out.swap(buf_);
+    lsn = next_lsn_ - 1;
+    gsn = buffered_gsn_;
+    first_pending_gsn_.store(0, std::memory_order_release);
+    commit_pending_.store(false, std::memory_order_release);
+  }
+  Status st = file_->Append(out);
+  if (!st.ok()) return Result<size_t>(st);
+  if (sync_on_flush_->load(std::memory_order_relaxed)) {
+    st = file_->Sync();
+    if (!st.ok()) return Result<size_t>(st);
+  }
+  auto& stats = IoStats::Global();
+  stats.wal_bytes_written.fetch_add(out.size(), std::memory_order_relaxed);
+  stats.wal_flushes.fetch_add(1, std::memory_order_relaxed);
+  flushed_lsn_.store(lsn, std::memory_order_release);
+  flushed_gsn_.store(gsn, std::memory_order_release);
+  return Result<size_t>(out.size());
+}
+
+Status WalWriter::TruncateAndReset() {
+  std::lock_guard<std::mutex> lk(mu_);
+  buf_.clear();
+  PHOEBE_RETURN_IF_ERROR(file_->Truncate(0));
+  PHOEBE_RETURN_IF_ERROR(file_->Sync());
+  flushed_lsn_.store(appended_lsn_.load(std::memory_order_relaxed),
+                     std::memory_order_release);
+  flushed_gsn_.store(appended_gsn_.load(std::memory_order_relaxed),
+                     std::memory_order_release);
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// WalManager
+// ---------------------------------------------------------------------------
+
+Result<std::unique_ptr<WalManager>> WalManager::Open(Env* env,
+                                                     const Options& options) {
+  std::unique_ptr<WalManager> mgr(new WalManager(options));
+  mgr->sync_enabled_.store(options.sync_on_flush, std::memory_order_relaxed);
+  PHOEBE_RETURN_IF_ERROR(env->CreateDir(options.dir));
+  for (uint32_t i = 0; i < options.num_writers; ++i) {
+    Env::OpenOptions fo;
+    std::unique_ptr<File> file;
+    Status st = env->OpenFile(
+        options.dir + "/wal_" + std::to_string(i) + ".log", fo, &file);
+    if (!st.ok()) return Result<std::unique_ptr<WalManager>>(st);
+    mgr->writers_.push_back(std::make_unique<WalWriter>(
+        i, std::move(file), &mgr->sync_enabled_));
+  }
+  uint32_t nf = std::max<uint32_t>(1, options.flusher_threads);
+  for (uint32_t i = 0; i < nf; ++i) {
+    mgr->flushers_.emplace_back([m = mgr.get(), i] { m->FlusherMain(i); });
+  }
+  return Result<std::unique_ptr<WalManager>>(std::move(mgr));
+}
+
+WalManager::~WalManager() {
+  stop_.store(true, std::memory_order_release);
+  for (auto& t : flushers_) t.join();
+  // Final drain so shutdown never loses buffered records.
+  for (auto& w : writers_) {
+    (void)w->Flush();
+  }
+}
+
+void WalManager::FlusherMain(uint32_t flusher_id) {
+  const uint32_t nf = std::max<uint32_t>(
+      1, static_cast<uint32_t>(flushers_.capacity()));
+  (void)nf;
+  const uint32_t num_flushers =
+      std::max<uint32_t>(1, options_.flusher_threads);
+  while (!stop_.load(std::memory_order_acquire)) {
+    size_t wrote = 0;
+    // Commit-priority pass: writers with buffered commit records first, so
+    // a commit waits ~one flush instead of a full round over all writers
+    // (this is what makes RFA's local-only wait visibly cheaper than the
+    // global wait).
+    for (uint32_t i = flusher_id; i < writers_.size(); i += num_flushers) {
+      if (!writers_[i]->HasPendingCommit()) continue;
+      Result<size_t> r = writers_[i]->Flush();
+      if (r.ok()) wrote += r.value();
+    }
+    for (uint32_t i = flusher_id; i < writers_.size(); i += num_flushers) {
+      if (!writers_[i]->HasPending()) continue;
+      Result<size_t> r = writers_[i]->Flush();
+      if (r.ok()) wrote += r.value();
+    }
+    if (wrote > 0) {
+      bytes_flushed_.fetch_add(wrote, std::memory_order_relaxed);
+      commit_cv_.notify_all();
+    } else {
+      std::this_thread::sleep_for(
+          std::chrono::microseconds(options_.flush_interval_us));
+    }
+  }
+}
+
+void WalManager::OnPageRead(Transaction* txn, BufferFrame* frame) {
+  uint64_t page_gsn = frame->page_gsn.load(std::memory_order_acquire);
+  if (page_gsn == 0) return;
+  WalWriter& w = WriterFor(txn->slot_id());
+  w.RaiseGsn(page_gsn);
+  txn->max_gsn = std::max(txn->max_gsn, page_gsn);
+  if (!options_.enable_rfa) {
+    txn->remote_dependency = true;
+    return;
+  }
+  uint32_t last = frame->last_writer.load(std::memory_order_acquire);
+  if (last != ~0u && last != w.id() &&
+      WriterFor(last).flushed_gsn() < page_gsn) {
+    txn->remote_dependency = true;
+  }
+}
+
+uint64_t WalManager::OnPageWrite(Transaction* txn, BufferFrame* frame) {
+  WalWriter& w = WriterFor(txn->slot_id());
+  uint64_t page_gsn = frame->page_gsn.load(std::memory_order_relaxed);
+  uint32_t last = frame->last_writer.load(std::memory_order_relaxed);
+  if (!options_.enable_rfa) {
+    txn->remote_dependency = true;
+  } else if (last != ~0u && last != w.id() &&
+             WriterFor(last).flushed_gsn() < page_gsn) {
+    txn->remote_dependency = true;
+  }
+  uint64_t gsn = std::max(w.LoadGsn(), page_gsn) + 1;
+  w.RaiseGsn(gsn);
+  frame->page_gsn.store(gsn, std::memory_order_release);
+  frame->last_writer.store(w.id(), std::memory_order_release);
+  txn->max_gsn = std::max(txn->max_gsn, gsn);
+  return gsn;
+}
+
+void WalManager::LogData(Transaction* txn, WalRecordType type, uint64_t gsn,
+                         Slice payload) {
+  ComponentScope prof(Component::kWal);
+  txn->last_lsn =
+      WriterFor(txn->slot_id()).Append(type, txn->xid(), gsn, payload);
+}
+
+void WalManager::LogCommit(Transaction* txn, Timestamp cts) {
+  ComponentScope prof(Component::kWal);
+  WalWriter& w = WriterFor(txn->slot_id());
+  txn->last_lsn = w.Append(WalRecordType::kCommit, txn->xid(), w.LoadGsn(),
+                           WalRecordCodec::CommitPayload(cts));
+}
+
+uint64_t WalManager::GlobalFlushedGsn(uint64_t cap) const {
+  uint64_t min_gsn = cap;
+  for (const auto& w : writers_) {
+    uint64_t appended = w->appended_gsn();
+    uint64_t flushed = w->flushed_gsn();
+    if (flushed >= appended) continue;  // fully durable
+    uint64_t first_pending = w->FirstPendingGsn();
+    if (first_pending > cap) continue;  // nothing pending at/below cap
+    min_gsn = std::min(min_gsn, flushed);
+  }
+  return min_gsn;
+}
+
+bool WalManager::CommitDurable(const Transaction* txn) const {
+  const WalWriter& w = WriterFor(txn->slot_id());
+  if (w.flushed_lsn() < txn->last_lsn) return false;
+  if (txn->remote_dependency) {
+    // Remote dependency: every other writer must be durable up to our
+    // max GSN (or have nothing pending below it).
+    if (GlobalFlushedGsn(txn->max_gsn) < txn->max_gsn) return false;
+  }
+  return true;
+}
+
+void WalManager::WaitCommitDurable(const Transaction* txn) {
+  if (CommitDurable(txn)) return;
+  std::unique_lock<std::mutex> lk(commit_mu_);
+  commit_cv_.wait_for(lk, std::chrono::milliseconds(100),
+                      [&] { return CommitDurable(txn); });
+  while (!CommitDurable(txn)) {
+    commit_cv_.wait_for(lk, std::chrono::milliseconds(10));
+  }
+}
+
+Status WalManager::TruncateAll() {
+  for (auto& w : writers_) {
+    PHOEBE_RETURN_IF_ERROR(w->TruncateAndReset());
+  }
+  return Status::OK();
+}
+
+}  // namespace phoebe

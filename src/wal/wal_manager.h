@@ -1,0 +1,198 @@
+#ifndef PHOEBE_WAL_WAL_MANAGER_H_
+#define PHOEBE_WAL_WAL_MANAGER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "buffer/buffer_frame.h"
+#include "common/constants.h"
+#include "common/status.h"
+#include "io/env.h"
+#include "txn/transaction.h"
+#include "wal/record.h"
+
+namespace phoebe {
+
+/// One WAL writer per task slot (Section 8): transactions of a slot append
+/// to a private in-memory buffer with a strictly increasing local LSN; group
+/// flusher threads drain the buffers to per-slot files. Append is called
+/// only by the slot's owning worker; the flusher synchronizes via `mu_`.
+class WalWriter {
+ public:
+  WalWriter(uint32_t id, std::unique_ptr<File> file,
+            const std::atomic<bool>* sync_on_flush);
+
+  /// Appends a record, returning its LSN.
+  uint64_t Append(WalRecordType type, Xid xid, uint64_t gsn, Slice payload);
+
+  /// Drains the buffer to disk (called by a flusher thread). Returns bytes
+  /// written.
+  Result<size_t> Flush();
+
+  uint64_t flushed_lsn() const {
+    return flushed_lsn_.load(std::memory_order_acquire);
+  }
+  uint64_t flushed_gsn() const {
+    return flushed_gsn_.load(std::memory_order_acquire);
+  }
+  uint64_t appended_lsn() const {
+    return appended_lsn_.load(std::memory_order_acquire);
+  }
+  uint64_t appended_gsn() const {
+    return appended_gsn_.load(std::memory_order_acquire);
+  }
+  bool HasPending() const {
+    return appended_lsn() > flushed_lsn();
+  }
+  /// True while an un-flushed commit record sits in the buffer; flushers
+  /// prioritize these writers so commit latency tracks one flush, not a
+  /// whole round over all writers.
+  bool HasPendingCommit() const {
+    return commit_pending_.load(std::memory_order_acquire);
+  }
+  /// Smallest GSN among buffered records (0 when the buffer is empty). Lets
+  /// the RFA global wait skip writers whose pending records are all above
+  /// the awaited GSN.
+  uint64_t FirstPendingGsn() const {
+    return first_pending_gsn_.load(std::memory_order_acquire);
+  }
+
+  /// Writer GSN counter. Per-slot writers are touched only by the owning
+  /// worker, but baseline single-writer mode shares one writer across all
+  /// slots, so updates go through max-CAS.
+  std::atomic<uint64_t> cur_gsn{0};
+  uint64_t LoadGsn() const { return cur_gsn.load(std::memory_order_acquire); }
+  void RaiseGsn(uint64_t gsn) {
+    uint64_t cur = cur_gsn.load(std::memory_order_relaxed);
+    while (gsn > cur && !cur_gsn.compare_exchange_weak(
+                            cur, gsn, std::memory_order_acq_rel)) {
+    }
+  }
+
+  uint32_t id() const { return id_; }
+
+  Status TruncateAndReset();
+
+ private:
+  uint32_t id_;
+  std::unique_ptr<File> file_;
+  const std::atomic<bool>* sync_on_flush_;
+
+  std::mutex mu_;
+  /// Serializes whole Flush() calls so file bytes and flushed_lsn stay in
+  /// LSN order when a commit-priority flush races the round-robin flusher.
+  std::mutex flush_mu_;
+  std::string buf_;
+  uint64_t next_lsn_ = 1;
+  uint64_t buffered_gsn_ = 0;
+
+  std::atomic<uint64_t> appended_lsn_{0};
+  std::atomic<uint64_t> appended_gsn_{0};
+  std::atomic<uint64_t> flushed_lsn_{0};
+  std::atomic<uint64_t> flushed_gsn_{0};
+  std::atomic<uint64_t> first_pending_gsn_{0};
+  std::atomic<bool> commit_pending_{false};
+};
+
+/// Parallel WAL with Remote Flush Avoidance (Section 8).
+///
+/// GSN protocol: every writer keeps a local GSN counter; modifying a page
+/// sets gsn = max(writer_gsn, page_gsn) + 1 and stamps the page. A
+/// transaction that reads or writes a page last stamped by a *different*
+/// writer whose log is not yet durable acquires a remote dependency: its
+/// commit then waits for the global flushed GSN instead of only its own
+/// writer (the RFA fast path).
+class WalManager {
+ public:
+  struct Options {
+    std::string dir;
+    uint32_t num_writers = 1;
+    uint32_t flusher_threads = 1;
+    bool sync_on_flush = true;
+    bool enable_rfa = true;     // ablation switch for Exp 3
+    uint32_t flush_interval_us = 100;
+  };
+
+  static Result<std::unique_ptr<WalManager>> Open(Env* env,
+                                                  const Options& options);
+  ~WalManager();
+
+  /// Writer serving `slot` (identity in Phoebe mode; writer 0 serves every
+  /// slot in baseline single-writer mode).
+  WalWriter& WriterFor(uint32_t slot) {
+    return *writers_[slot % writers_.size()];
+  }
+  const WalWriter& WriterFor(uint32_t slot) const {
+    return *writers_[slot % writers_.size()];
+  }
+  uint32_t num_writers() const {
+    return static_cast<uint32_t>(writers_.size());
+  }
+
+  /// --- GSN / RFA hooks (called by the table layer under page latches) ------
+
+  /// Transaction read a page: propagate GSN and record remote dependencies.
+  void OnPageRead(Transaction* txn, BufferFrame* frame);
+
+  /// Transaction is modifying a page: assigns the record GSN, stamps the
+  /// page, and records remote dependencies. Returns the GSN.
+  uint64_t OnPageWrite(Transaction* txn, BufferFrame* frame);
+
+  /// Appends a logical data record for `txn`.
+  void LogData(Transaction* txn, WalRecordType type, uint64_t gsn,
+               Slice payload);
+
+  /// Appends the commit record; returns OK when the commit is durable or
+  /// kBlocked(kAsyncRead)-style wait is needed (coroutine mode polls with
+  /// CommitDurable).
+  void LogCommit(Transaction* txn, Timestamp cts);
+
+  /// True once the commit of `txn` (logged via LogCommit) is durable under
+  /// the RFA rule: own writer flushed past the commit LSN, plus the global
+  /// flushed GSN when a remote dependency exists.
+  bool CommitDurable(const Transaction* txn) const;
+
+  /// Blocks until CommitDurable (synchronous mode).
+  void WaitCommitDurable(const Transaction* txn);
+
+  /// Minimum durable GSN across writers with pending data (writers that are
+  /// fully flushed do not bound the result below `cap`).
+  uint64_t GlobalFlushedGsn(uint64_t cap) const;
+
+  /// Post-checkpoint truncation of all WAL files.
+  Status TruncateAll();
+
+  /// Aggregate stats.
+  uint64_t TotalBytesFlushed() const {
+    return bytes_flushed_.load(std::memory_order_relaxed);
+  }
+
+  /// Toggles fdatasync on WAL flush (loaders disable during population).
+  void set_sync_on_flush(bool on) {
+    sync_enabled_.store(on, std::memory_order_relaxed);
+  }
+
+ private:
+  explicit WalManager(const Options& options) : options_(options) {}
+
+  void FlusherMain(uint32_t flusher_id);
+
+  Options options_;
+  std::atomic<bool> sync_enabled_{true};
+  std::vector<std::unique_ptr<WalWriter>> writers_;
+  std::vector<std::thread> flushers_;
+  std::atomic<bool> stop_{false};
+  std::atomic<uint64_t> bytes_flushed_{0};
+
+  mutable std::mutex commit_mu_;
+  mutable std::condition_variable commit_cv_;
+};
+
+}  // namespace phoebe
+
+#endif  // PHOEBE_WAL_WAL_MANAGER_H_

@@ -1,0 +1,122 @@
+// Baseline ("traditional RDBMS") mechanism tests: the global lock-manager
+// hash table and the PostgreSQL-style snapshot scan.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "baseline/lock_table.h"
+#include "baseline/pg_snapshot.h"
+#include "tests/test_util.h"
+
+namespace phoebe {
+namespace {
+
+TEST(GlobalLockTableTest, ExclusiveBlocksOthers) {
+  GlobalLockTable lt;
+  uint64_t key = GlobalLockTable::Key(1, 42);
+  Xid a = MakeXid(1), b = MakeXid(2);
+  ASSERT_OK(lt.AcquireExclusive(key, a, /*blocking=*/false));
+  Status st = lt.AcquireExclusive(key, b, false);
+  EXPECT_TRUE(st.IsBlocked());
+  EXPECT_EQ(st.wait_xid(), a);
+  // Re-entrant for the owner.
+  ASSERT_OK(lt.AcquireExclusive(key, a, false));
+  EXPECT_EQ(lt.LiveLocks(), 1u);
+  lt.Release(key, a);
+  ASSERT_OK(lt.AcquireExclusive(key, b, false));
+  lt.Release(key, b);
+  EXPECT_EQ(lt.LiveLocks(), 0u);
+}
+
+TEST(GlobalLockTableTest, ReleaseByNonOwnerIgnored) {
+  GlobalLockTable lt;
+  uint64_t key = GlobalLockTable::Key(1, 1);
+  Xid a = MakeXid(1), b = MakeXid(2);
+  ASSERT_OK(lt.AcquireExclusive(key, a, false));
+  lt.Release(key, b);  // not the owner: no-op
+  EXPECT_TRUE(lt.AcquireExclusive(key, b, false).IsBlocked());
+  lt.Release(key, a);
+}
+
+TEST(GlobalLockTableTest, BlockingWaitsForRelease) {
+  GlobalLockTable lt;
+  uint64_t key = GlobalLockTable::Key(2, 7);
+  Xid a = MakeXid(1), b = MakeXid(2);
+  ASSERT_OK(lt.AcquireExclusive(key, a, false));
+  std::atomic<bool> acquired{false};
+  std::thread waiter([&] {
+    ASSERT_OK(lt.AcquireExclusive(key, b, /*blocking=*/true));
+    acquired = true;
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_FALSE(acquired.load());
+  lt.Release(key, a);
+  waiter.join();
+  EXPECT_TRUE(acquired.load());
+  lt.Release(key, b);
+}
+
+TEST(GlobalLockTableTest, ReleaseAllDropsEverything) {
+  GlobalLockTable lt;
+  Xid a = MakeXid(9);
+  std::vector<uint64_t> keys;
+  for (int i = 0; i < 20; ++i) {
+    keys.push_back(GlobalLockTable::Key(3, static_cast<RowId>(i)));
+    ASSERT_OK(lt.AcquireExclusive(keys.back(), a, false));
+  }
+  EXPECT_EQ(lt.LiveLocks(), 20u);
+  lt.ReleaseAll(a, keys);
+  EXPECT_EQ(lt.LiveLocks(), 0u);
+}
+
+TEST(GlobalLockTableTest, DistinctKeysDoNotConflict) {
+  GlobalLockTable lt;
+  Xid a = MakeXid(1), b = MakeXid(2);
+  ASSERT_OK(lt.AcquireExclusive(GlobalLockTable::Key(1, 1), a, false));
+  ASSERT_OK(lt.AcquireExclusive(GlobalLockTable::Key(1, 2), b, false));
+  ASSERT_OK(lt.AcquireExclusive(GlobalLockTable::Key(2, 1), b, false));
+}
+
+TEST(PgSnapshotTest, ScanCollectsActiveTransactions) {
+  GlobalClock clock;
+  TxnManager tm(8, &clock);
+  PgSnapshotManager mgr(&tm);
+
+  PgSnapshot empty = mgr.Take();
+  EXPECT_TRUE(empty.xip.empty());
+
+  Transaction* t1 = tm.Begin(1, IsolationLevel::kReadCommitted);
+  Transaction* t2 = tm.Begin(3, IsolationLevel::kReadCommitted);
+  PgSnapshot snap = mgr.Take();
+  EXPECT_EQ(snap.xip.size(), 2u);
+  EXPECT_EQ(snap.xmin, t1->start_ts());
+  EXPECT_TRUE(snap.InProgress(t1->start_ts()));
+  EXPECT_TRUE(snap.InProgress(t2->start_ts()));
+  EXPECT_FALSE(snap.InProgress(12345));
+  EXPECT_GE(snap.xmax, t2->start_ts());
+
+  // Commit timestamps after the snapshot are invisible.
+  tm.PrepareCommit(t1);
+  tm.FinishTransaction(t1, true);
+  Timestamp late_cts = clock.Next();
+  EXPECT_FALSE(snap.CommitVisible(late_cts));
+  tm.FinishTransaction(t2, false);
+}
+
+TEST(PgSnapshotTest, ScanCostGrowsWithSlots) {
+  // Not a perf assertion, just the semantic one: every active slot appears.
+  GlobalClock clock;
+  TxnManager tm(64, &clock);
+  PgSnapshotManager mgr(&tm);
+  std::vector<Transaction*> txns;
+  for (uint32_t i = 0; i < 64; i += 2) {
+    txns.push_back(tm.Begin(i, IsolationLevel::kReadCommitted));
+  }
+  PgSnapshot snap = mgr.Take();
+  EXPECT_EQ(snap.xip.size(), 32u);
+  EXPECT_TRUE(std::is_sorted(snap.xip.begin(), snap.xip.end()));
+  for (auto* t : txns) tm.FinishTransaction(t, true);
+}
+
+}  // namespace
+}  // namespace phoebe

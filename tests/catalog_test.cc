@@ -1,0 +1,100 @@
+#include "core/catalog.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace phoebe {
+namespace {
+
+CatalogData SampleCatalog() {
+  CatalogData data;
+  data.clean = true;
+  data.next_relation_id = 7;
+  CatalogData::TableEntry t;
+  t.name = "orders";
+  t.id = 3;
+  t.schema = Schema({{"id", ColumnType::kInt64, 0, false},
+                     {"note", ColumnType::kString, 40, true}});
+  t.next_row_id = 12345;
+  t.root = 42;
+  t.max_frozen_row_id = 999;
+  t.frozen_manifest_len = 360;
+  t.frozen_blocks_len = 8192;
+  data.tables.push_back(t);
+  CatalogData::IndexEntry i;
+  i.name = "orders_pk";
+  i.id = 4;
+  i.table_id = 3;
+  i.key_columns = {0};
+  i.unique = true;
+  i.root = 77;
+  data.indexes.push_back(i);
+  return data;
+}
+
+TEST(CatalogTest, SaveLoadRoundTrip) {
+  TestDir dir("catalog");
+  ASSERT_OK(Catalog::Save(Env::Default(), dir.path(), SampleCatalog()));
+  auto loaded = Catalog::Load(Env::Default(), dir.path());
+  ASSERT_OK_R(loaded);
+  const CatalogData& d = loaded.value();
+  EXPECT_TRUE(d.clean);
+  EXPECT_EQ(d.next_relation_id, 7u);
+  ASSERT_EQ(d.tables.size(), 1u);
+  EXPECT_EQ(d.tables[0].name, "orders");
+  EXPECT_EQ(d.tables[0].next_row_id, 12345u);
+  EXPECT_EQ(d.tables[0].root, 42u);
+  EXPECT_EQ(d.tables[0].max_frozen_row_id, 999u);
+  EXPECT_EQ(d.tables[0].frozen_manifest_len, 360u);
+  EXPECT_EQ(d.tables[0].schema.num_columns(), 2u);
+  ASSERT_EQ(d.indexes.size(), 1u);
+  EXPECT_EQ(d.indexes[0].key_columns, std::vector<uint32_t>{0});
+  EXPECT_EQ(d.indexes[0].root, 77u);
+}
+
+TEST(CatalogTest, MissingIsNotFound) {
+  TestDir dir("catalog_missing");
+  EXPECT_TRUE(Catalog::Load(Env::Default(), dir.path()).status().IsNotFound());
+}
+
+TEST(CatalogTest, CorruptionDetected) {
+  TestDir dir("catalog_corrupt");
+  ASSERT_OK(Catalog::Save(Env::Default(), dir.path(), SampleCatalog()));
+  std::unique_ptr<File> f;
+  Env::OpenOptions opts;
+  ASSERT_OK(Env::Default()->OpenFile(dir.path() + "/CATALOG", opts, &f));
+  ASSERT_OK(f->Write(10, "XX"));
+  EXPECT_TRUE(
+      Catalog::Load(Env::Default(), dir.path()).status().IsCorruption());
+}
+
+TEST(CatalogTest, RewriteReplacesAtomically) {
+  TestDir dir("catalog_rewrite");
+  ASSERT_OK(Catalog::Save(Env::Default(), dir.path(), SampleCatalog()));
+  CatalogData updated = SampleCatalog();
+  updated.clean = false;
+  updated.tables[0].next_row_id = 99999;
+  ASSERT_OK(Catalog::Save(Env::Default(), dir.path(), updated));
+  auto loaded = Catalog::Load(Env::Default(), dir.path());
+  ASSERT_OK_R(loaded);
+  EXPECT_FALSE(loaded.value().clean);
+  EXPECT_EQ(loaded.value().tables[0].next_row_id, 99999u);
+  // No stray temp file.
+  EXPECT_FALSE(Env::Default()->FileExists(dir.path() + "/CATALOG.tmp"));
+}
+
+TEST(CatalogTest, InvalidRootsEncodeCleanly) {
+  TestDir dir("catalog_roots");
+  CatalogData data = SampleCatalog();
+  data.tables[0].root = kInvalidPageId;
+  data.indexes[0].root = kInvalidPageId;
+  ASSERT_OK(Catalog::Save(Env::Default(), dir.path(), data));
+  auto loaded = Catalog::Load(Env::Default(), dir.path());
+  ASSERT_OK_R(loaded);
+  EXPECT_EQ(loaded.value().tables[0].root, kInvalidPageId);
+  EXPECT_EQ(loaded.value().indexes[0].root, kInvalidPageId);
+}
+
+}  // namespace
+}  // namespace phoebe

@@ -1,0 +1,300 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <thread>
+
+#include "common/coding.h"
+#include "common/crc32.h"
+#include "common/latch.h"
+#include "common/random.h"
+#include "common/status.h"
+#include "tests/test_util.h"
+
+namespace phoebe {
+namespace {
+
+// --- Status ------------------------------------------------------------------
+
+TEST(StatusTest, OkByDefault) {
+  Status st;
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(st.ToString(), "OK");
+}
+
+TEST(StatusTest, CodesAndMessages) {
+  EXPECT_TRUE(Status::NotFound("x").IsNotFound());
+  EXPECT_TRUE(Status::Corruption("x").IsCorruption());
+  EXPECT_TRUE(Status::InvalidArgument("x").IsInvalidArgument());
+  EXPECT_TRUE(Status::IOError("x").IsIOError());
+  EXPECT_TRUE(Status::Aborted("x").IsAborted());
+  EXPECT_TRUE(Status::AlreadyExists("x").IsAlreadyExists());
+  EXPECT_TRUE(Status::BufferFull().IsBufferFull());
+  EXPECT_TRUE(Status::KeyExists().IsKeyExists());
+  EXPECT_EQ(Status::NotFound("abc").message(), "abc");
+  EXPECT_NE(Status::Corruption("bad page").ToString().find("bad page"),
+            std::string::npos);
+}
+
+TEST(StatusTest, BlockedCarriesWaitInfo) {
+  Status st = Status::Blocked(WaitKind::kXidLock, 12345);
+  EXPECT_TRUE(st.IsBlocked());
+  EXPECT_EQ(st.wait_kind(), WaitKind::kXidLock);
+  EXPECT_EQ(st.wait_xid(), 12345u);
+}
+
+TEST(ResultTest, ValueAndError) {
+  Result<int> ok(42);
+  EXPECT_TRUE(ok.ok());
+  EXPECT_EQ(*ok, 42);
+  Result<int> err(Status::NotFound());
+  EXPECT_FALSE(err.ok());
+  EXPECT_TRUE(err.status().IsNotFound());
+}
+
+// --- Coding ------------------------------------------------------------------
+
+TEST(CodingTest, FixedRoundTrip) {
+  std::string buf;
+  PutFixed32(&buf, 0xDEADBEEF);
+  PutFixed64(&buf, 0x0123456789ABCDEFull);
+  EXPECT_EQ(DecodeFixed32(buf.data()), 0xDEADBEEFu);
+  EXPECT_EQ(DecodeFixed64(buf.data() + 4), 0x0123456789ABCDEFull);
+}
+
+TEST(CodingTest, VarintRoundTrip) {
+  std::string buf;
+  std::vector<uint64_t> values = {0, 1, 127, 128, 16383, 16384,
+                                  (1ull << 32) - 1, 1ull << 32, ~0ull};
+  for (uint64_t v : values) PutVarint64(&buf, v);
+  Slice in(buf);
+  for (uint64_t v : values) {
+    uint64_t got = 0;
+    ASSERT_TRUE(GetVarint64(&in, &got));
+    EXPECT_EQ(got, v);
+  }
+  EXPECT_TRUE(in.empty());
+}
+
+TEST(CodingTest, VarintLength) {
+  EXPECT_EQ(VarintLength(0), 1);
+  EXPECT_EQ(VarintLength(127), 1);
+  EXPECT_EQ(VarintLength(128), 2);
+  EXPECT_EQ(VarintLength(~0ull), 10);
+}
+
+TEST(CodingTest, VarintTruncatedFails) {
+  std::string buf;
+  PutVarint64(&buf, 1ull << 40);
+  Slice in(buf.data(), buf.size() - 1);
+  uint64_t got;
+  EXPECT_FALSE(GetVarint64(&in, &got));
+}
+
+TEST(CodingTest, LengthPrefixedSlice) {
+  std::string buf;
+  PutLengthPrefixedSlice(&buf, "hello");
+  PutLengthPrefixedSlice(&buf, "");
+  PutLengthPrefixedSlice(&buf, std::string(300, 'x'));
+  Slice in(buf);
+  Slice a, b, c;
+  ASSERT_TRUE(GetLengthPrefixedSlice(&in, &a));
+  ASSERT_TRUE(GetLengthPrefixedSlice(&in, &b));
+  ASSERT_TRUE(GetLengthPrefixedSlice(&in, &c));
+  EXPECT_EQ(a, Slice("hello"));
+  EXPECT_TRUE(b.empty());
+  EXPECT_EQ(c.size(), 300u);
+}
+
+TEST(CodingTest, BigEndianPreservesOrder) {
+  Random rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    uint64_t a = rng.Next(), b = rng.Next();
+    char ka[8], kb[8];
+    EncodeBigEndian64(ka, a);
+    EncodeBigEndian64(kb, b);
+    EXPECT_EQ(a < b, Slice(ka, 8).compare(Slice(kb, 8)) < 0);
+    EXPECT_EQ(DecodeBigEndian64(ka), a);
+  }
+}
+
+TEST(CodingTest, ZigZag) {
+  for (int64_t v : std::vector<int64_t>{0, 1, -1, 123456789, -987654321,
+                                        INT64_MAX, INT64_MIN}) {
+    EXPECT_EQ(ZigZagDecode(ZigZagEncode(v)), v);
+  }
+  EXPECT_EQ(ZigZagEncode(0), 0u);
+  EXPECT_EQ(ZigZagEncode(-1), 1u);
+  EXPECT_EQ(ZigZagEncode(1), 2u);
+}
+
+// --- CRC32C ------------------------------------------------------------------
+
+TEST(Crc32Test, KnownVectors) {
+  // CRC-32C("123456789") = 0xE3069283.
+  EXPECT_EQ(Crc32c("123456789", 9), 0xE3069283u);
+  EXPECT_EQ(Crc32c("", 0), 0u);
+}
+
+TEST(Crc32Test, DetectsCorruption) {
+  std::string data(1024, 'a');
+  uint32_t crc = Crc32c(data.data(), data.size());
+  data[512] ^= 1;
+  EXPECT_NE(Crc32c(data.data(), data.size()), crc);
+}
+
+TEST(Crc32Test, MaskRoundTrip) {
+  uint32_t crc = Crc32c("phoebe", 6);
+  EXPECT_EQ(UnmaskCrc(MaskCrc(crc)), crc);
+  EXPECT_NE(MaskCrc(crc), crc);
+}
+
+// --- Random ------------------------------------------------------------------
+
+TEST(RandomTest, UniformBounds) {
+  Random rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    int64_t v = rng.UniformRange(5, 15);
+    EXPECT_GE(v, 5);
+    EXPECT_LE(v, 15);
+  }
+}
+
+TEST(RandomTest, Deterministic) {
+  Random a(99), b(99);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RandomTest, NURandWithinRange) {
+  Random rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    int64_t v = rng.NURand(1023, 1, 3000, 55);
+    EXPECT_GE(v, 1);
+    EXPECT_LE(v, 3000);
+  }
+}
+
+TEST(RandomTest, ZipfianSkew) {
+  Zipfian z(1000, 0.99, 5);
+  std::map<uint64_t, int> counts;
+  for (int i = 0; i < 20000; ++i) counts[z.Next()]++;
+  // The head of the distribution dominates.
+  EXPECT_GT(counts[0], 20000 / 100);
+  for (const auto& [k, v] : counts) EXPECT_LT(k, 1000u);
+}
+
+// --- HybridLatch -------------------------------------------------------------
+
+TEST(LatchTest, ExclusiveBlocksShared) {
+  HybridLatch latch;
+  ASSERT_TRUE(latch.TryLockExclusive());
+  EXPECT_FALSE(latch.TryLockShared());
+  EXPECT_FALSE(latch.TryLockExclusive());
+  latch.UnlockExclusive();
+  EXPECT_TRUE(latch.TryLockShared());
+  latch.UnlockShared();
+}
+
+TEST(LatchTest, SharedAllowsSharedBlocksExclusive) {
+  HybridLatch latch;
+  ASSERT_TRUE(latch.TryLockShared());
+  ASSERT_TRUE(latch.TryLockShared());
+  EXPECT_FALSE(latch.TryLockExclusive());
+  latch.UnlockShared();
+  EXPECT_FALSE(latch.TryLockExclusive());
+  latch.UnlockShared();
+  EXPECT_TRUE(latch.TryLockExclusive());
+  latch.UnlockExclusive();
+}
+
+TEST(LatchTest, OptimisticValidatesAcrossWrites) {
+  HybridLatch latch;
+  uint64_t v1 = 0;
+  ASSERT_TRUE(latch.TryOptimisticLatch(&v1));
+  EXPECT_TRUE(latch.ValidateOptimistic(v1));
+
+  ASSERT_TRUE(latch.TryLockExclusive());
+  // Writer in progress: validation fails, new optimistic reads fail.
+  EXPECT_FALSE(latch.ValidateOptimistic(v1));
+  uint64_t v2;
+  EXPECT_FALSE(latch.TryOptimisticLatch(&v2));
+  latch.UnlockExclusive();
+
+  // Version moved: stale validation still fails.
+  EXPECT_FALSE(latch.ValidateOptimistic(v1));
+  ASSERT_TRUE(latch.TryOptimisticLatch(&v2));
+  EXPECT_TRUE(latch.ValidateOptimistic(v2));
+}
+
+TEST(LatchTest, SharedDoesNotInvalidateOptimistic) {
+  HybridLatch latch;
+  uint64_t v = 0;
+  ASSERT_TRUE(latch.TryOptimisticLatch(&v));
+  ASSERT_TRUE(latch.TryLockShared());
+  EXPECT_TRUE(latch.ValidateOptimistic(v));
+  latch.UnlockShared();
+  EXPECT_TRUE(latch.ValidateOptimistic(v));
+}
+
+TEST(LatchTest, UpgradeFromOptimistic) {
+  HybridLatch latch;
+  uint64_t v = 0;
+  ASSERT_TRUE(latch.TryOptimisticLatch(&v));
+  ASSERT_TRUE(latch.TryUpgradeToExclusive(v));
+  // A second upgrade with the stale version must fail.
+  latch.UnlockExclusive();
+  EXPECT_FALSE(latch.TryUpgradeToExclusive(v));
+}
+
+TEST(LatchTest, ConcurrentCounterWithExclusive) {
+  HybridLatch latch;
+  int64_t counter = 0;
+  constexpr int kThreads = 8;
+  constexpr int kIters = 20000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kIters; ++i) {
+        while (!latch.TryLockExclusive()) CpuRelax();
+        ++counter;
+        latch.UnlockExclusive();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(counter, kThreads * kIters);
+}
+
+TEST(LatchTest, OptimisticReadersSeeConsistentPairs) {
+  // Writer keeps a == b invariant; optimistic readers must never observe a
+  // torn pair after validation.
+  HybridLatch latch;
+  volatile int64_t a = 0, b = 0;
+  std::atomic<bool> stop{false};
+  std::atomic<int> torn{0};
+  std::thread writer([&] {
+    for (int i = 1; i < 50000; ++i) {
+      while (!latch.TryLockExclusive()) CpuRelax();
+      a = i;
+      b = i;
+      latch.UnlockExclusive();
+    }
+    stop = true;
+  });
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 4; ++t) {
+    readers.emplace_back([&] {
+      while (!stop) {
+        uint64_t v;
+        if (!latch.TryOptimisticLatch(&v)) continue;
+        int64_t ra = a, rb = b;
+        if (latch.ValidateOptimistic(v) && ra != rb) torn++;
+      }
+    });
+  }
+  writer.join();
+  for (auto& t : readers) t.join();
+  EXPECT_EQ(torn.load(), 0);
+}
+
+}  // namespace
+}  // namespace phoebe

@@ -1,0 +1,218 @@
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "common/clock.h"
+#include "io/async_io.h"
+#include "io/env.h"
+#include "io/page_file.h"
+#include "io/throttle.h"
+#include "tests/test_util.h"
+
+namespace phoebe {
+namespace {
+
+class EnvTest : public ::testing::Test {
+ protected:
+  void SetUp() override { dir_ = std::make_unique<TestDir>("env"); }
+  std::unique_ptr<TestDir> dir_;
+  Env* env_ = Env::Default();
+};
+
+TEST_F(EnvTest, WriteReadRoundTrip) {
+  std::unique_ptr<File> f;
+  Env::OpenOptions opts;
+  ASSERT_OK(env_->OpenFile(dir_->path() + "/a", opts, &f));
+  ASSERT_OK(f->Write(0, "hello world"));
+  ASSERT_OK(f->Write(100, "far away"));
+  EXPECT_EQ(f->Size(), 108u);
+
+  char buf[32];
+  size_t got = 0;
+  ASSERT_OK(f->Read(0, 11, buf, &got));
+  EXPECT_EQ(got, 11u);
+  EXPECT_EQ(Slice(buf, 11), Slice("hello world"));
+  ASSERT_OK(f->Read(100, 8, buf, &got));
+  EXPECT_EQ(Slice(buf, 8), Slice("far away"));
+  // Reading past EOF returns short.
+  ASSERT_OK(f->Read(104, 32, buf, &got));
+  EXPECT_EQ(got, 4u);
+}
+
+TEST_F(EnvTest, AppendTracksOffset) {
+  std::unique_ptr<File> f;
+  Env::OpenOptions opts;
+  ASSERT_OK(env_->OpenFile(dir_->path() + "/b", opts, &f));
+  ASSERT_OK(f->Append("one"));
+  ASSERT_OK(f->Append("two"));
+  EXPECT_EQ(f->Size(), 6u);
+  char buf[6];
+  size_t got;
+  ASSERT_OK(f->Read(0, 6, buf, &got));
+  EXPECT_EQ(Slice(buf, 6), Slice("onetwo"));
+}
+
+TEST_F(EnvTest, TruncateAndReopen) {
+  {
+    std::unique_ptr<File> f;
+    Env::OpenOptions opts;
+    ASSERT_OK(env_->OpenFile(dir_->path() + "/c", opts, &f));
+    ASSERT_OK(f->Append("0123456789"));
+    ASSERT_OK(f->Truncate(4));
+    EXPECT_EQ(f->Size(), 4u);
+    ASSERT_OK(f->Sync());
+  }
+  std::unique_ptr<File> f;
+  Env::OpenOptions ro;
+  ro.create = false;
+  ro.read_only = true;
+  ASSERT_OK(env_->OpenFile(dir_->path() + "/c", ro, &f));
+  EXPECT_EQ(f->Size(), 4u);
+}
+
+TEST_F(EnvTest, DirOps) {
+  std::string sub = dir_->path() + "/x/y/z";
+  ASSERT_OK(env_->CreateDir(sub));
+  EXPECT_TRUE(env_->FileExists(sub));
+  std::unique_ptr<File> f;
+  Env::OpenOptions opts;
+  ASSERT_OK(env_->OpenFile(sub + "/file", opts, &f));
+  f.reset();
+  std::vector<std::string> names;
+  ASSERT_OK(env_->ListDir(sub, &names));
+  EXPECT_EQ(names, std::vector<std::string>{"file"});
+  Result<uint64_t> size = env_->FileSize(sub + "/file");
+  ASSERT_OK_R(size);
+  EXPECT_EQ(size.value(), 0u);
+  ASSERT_OK(env_->RemoveDirRecursive(dir_->path() + "/x"));
+  EXPECT_FALSE(env_->FileExists(sub));
+  EXPECT_TRUE(env_->ListDir(sub, &names).IsNotFound());
+}
+
+TEST_F(EnvTest, RemoveMissingFileIsOk) {
+  ASSERT_OK(env_->RemoveFile(dir_->path() + "/nope"));
+}
+
+// --- PageFile -----------------------------------------------------------------
+
+TEST(PageFileTest, AllocateWriteRead) {
+  TestDir dir("pagefile");
+  auto pf = PageFile::Open(Env::Default(), dir.path() + "/p.pages");
+  ASSERT_OK_R(pf);
+  PageId a = pf.value()->AllocatePage();
+  PageId b = pf.value()->AllocatePage();
+  EXPECT_NE(a, b);
+
+  std::vector<char> page(kPageSize, 'A');
+  ASSERT_OK(pf.value()->WritePage(a, page.data()));
+  std::fill(page.begin(), page.end(), 'B');
+  ASSERT_OK(pf.value()->WritePage(b, page.data()));
+
+  std::vector<char> got(kPageSize);
+  ASSERT_OK(pf.value()->ReadPage(a, got.data()));
+  EXPECT_EQ(got[17], 'A');
+  ASSERT_OK(pf.value()->ReadPage(b, got.data()));
+  EXPECT_EQ(got[17], 'B');
+}
+
+TEST(PageFileTest, PersistsAcrossReopen) {
+  TestDir dir("pagefile2");
+  PageId id;
+  {
+    auto pf = PageFile::Open(Env::Default(), dir.path() + "/p.pages");
+    ASSERT_OK_R(pf);
+    id = pf.value()->AllocatePage();
+    std::vector<char> page(kPageSize, 'Z');
+    ASSERT_OK(pf.value()->WritePage(id, page.data()));
+    ASSERT_OK(pf.value()->Sync());
+  }
+  auto pf = PageFile::Open(Env::Default(), dir.path() + "/p.pages");
+  ASSERT_OK_R(pf);
+  EXPECT_GE(pf.value()->num_pages(), 1u);
+  std::vector<char> got(kPageSize);
+  ASSERT_OK(pf.value()->ReadPage(id, got.data()));
+  EXPECT_EQ(got[0], 'Z');
+}
+
+TEST(PageFileTest, FreeListRecyclesIds) {
+  TestDir dir("pagefile3");
+  auto pf = PageFile::Open(Env::Default(), dir.path() + "/p.pages");
+  ASSERT_OK_R(pf);
+  PageId a = pf.value()->AllocatePage();
+  pf.value()->FreePage(a);
+  EXPECT_EQ(pf.value()->AllocatePage(), a);
+}
+
+// --- AsyncIoEngine ---------------------------------------------------------------
+
+TEST(AsyncIoTest, SubmitPollComplete) {
+  TestDir dir("asyncio");
+  auto pf = PageFile::Open(Env::Default(), dir.path() + "/p.pages");
+  ASSERT_OK_R(pf);
+  PageId id = pf.value()->AllocatePage();
+  std::vector<char> page(kPageSize, 'Q');
+  ASSERT_OK(pf.value()->WritePage(id, page.data()));
+
+  AsyncIoEngine engine(2);
+  std::vector<char> buf(kPageSize, 0);
+  AsyncIoEngine::Request req;
+  req.op = AsyncIoEngine::Request::Op::kRead;
+  req.file = pf.value().get();
+  req.page_id = id;
+  req.buf = buf.data();
+  engine.Submit(&req);
+  ASSERT_OK(engine.Wait(&req));
+  EXPECT_TRUE(req.done());
+  EXPECT_EQ(buf[5], 'Q');
+}
+
+TEST(AsyncIoTest, ManyConcurrentReads) {
+  TestDir dir("asyncio2");
+  auto pf = PageFile::Open(Env::Default(), dir.path() + "/p.pages");
+  ASSERT_OK_R(pf);
+  constexpr int kPages = 64;
+  std::vector<PageId> ids(kPages);
+  std::vector<char> page(kPageSize);
+  for (int i = 0; i < kPages; ++i) {
+    ids[i] = pf.value()->AllocatePage();
+    std::fill(page.begin(), page.end(), static_cast<char>('a' + i % 26));
+    ASSERT_OK(pf.value()->WritePage(ids[i], page.data()));
+  }
+  AsyncIoEngine engine(4);
+  std::vector<std::vector<char>> bufs(kPages,
+                                      std::vector<char>(kPageSize));
+  std::vector<AsyncIoEngine::Request> reqs(kPages);
+  for (int i = 0; i < kPages; ++i) {
+    reqs[i].file = pf.value().get();
+    reqs[i].page_id = ids[i];
+    reqs[i].buf = bufs[i].data();
+    engine.Submit(&reqs[i]);
+  }
+  for (int i = 0; i < kPages; ++i) {
+    ASSERT_OK(engine.Wait(&reqs[i]));
+    ASSERT_EQ(bufs[i][0], static_cast<char>('a' + i % 26));
+  }
+}
+
+// --- BandwidthThrottle ----------------------------------------------------------
+
+TEST(ThrottleTest, DisabledIsFree) {
+  BandwidthThrottle throttle(0);
+  Stopwatch sw;
+  for (int i = 0; i < 1000; ++i) throttle.Acquire(1 << 20);
+  EXPECT_LT(sw.ElapsedSeconds(), 0.5);
+}
+
+TEST(ThrottleTest, LimitsRate) {
+  BandwidthThrottle throttle(10ull << 20);  // 10 MB/s
+  throttle.Acquire(10ull << 20);            // drain the initial burst
+  Stopwatch sw;
+  // 5 MB at 10 MB/s ~= 0.5s.
+  for (int i = 0; i < 5; ++i) throttle.Acquire(1 << 20);
+  double elapsed = sw.ElapsedSeconds();
+  EXPECT_GT(elapsed, 0.3);
+  EXPECT_LT(elapsed, 2.0);
+}
+
+}  // namespace
+}  // namespace phoebe

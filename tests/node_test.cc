@@ -1,0 +1,219 @@
+// B-Tree node layout unit tests: inner-node separator logic, index-leaf
+// slotting, fence keys, compaction, splits, child removal.
+#include "storage/node.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "common/random.h"
+#include "tests/test_util.h"
+
+namespace phoebe {
+namespace {
+
+// --- InnerNode ---------------------------------------------------------------
+
+class InnerNodeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    page_.resize(kPageSize);
+    node_ = InnerNode::Init(page_.data(), /*leftmost=*/MakeChild(0));
+  }
+  static uint64_t MakeChild(uint64_t i) {
+    // Fake evicted swips as child identities.
+    return (i << 2) | Swip::kTagEvicted;
+  }
+  std::vector<char> page_;
+  InnerNode* node_;
+};
+
+TEST_F(InnerNodeTest, RoutingSemantics) {
+  node_->InsertSeparator("m", MakeChild(1));
+  node_->InsertSeparator("t", MakeChild(2));
+  ASSERT_EQ(node_->count(), 2);
+  ASSERT_EQ(node_->num_children(), 3);
+  // keys < "m" -> child 0; "m" <= key < "t" -> child 1; >= "t" -> child 2.
+  EXPECT_EQ(node_->FindChild("a"), 0);
+  EXPECT_EQ(node_->FindChild("m"), 1);
+  EXPECT_EQ(node_->FindChild("q"), 1);
+  EXPECT_EQ(node_->FindChild("t"), 2);
+  EXPECT_EQ(node_->FindChild("zzz"), 2);
+  EXPECT_EQ(node_->ChildAt(0)->raw(), MakeChild(0));
+  EXPECT_EQ(node_->ChildAt(1)->raw(), MakeChild(1));
+  EXPECT_EQ(node_->ChildAt(2)->raw(), MakeChild(2));
+}
+
+TEST_F(InnerNodeTest, InsertKeepsSorted) {
+  const char* keys[] = {"delta", "alpha", "echo", "bravo", "charlie"};
+  for (uint64_t i = 0; i < 5; ++i) {
+    node_->InsertSeparator(keys[i], MakeChild(i + 1));
+  }
+  for (uint16_t i = 1; i < node_->count(); ++i) {
+    EXPECT_LT(node_->KeyAt(i - 1).compare(node_->KeyAt(i)), 0);
+  }
+}
+
+TEST_F(InnerNodeTest, RemoveChildAt) {
+  node_->InsertSeparator("b", MakeChild(1));
+  node_->InsertSeparator("d", MakeChild(2));
+  node_->InsertSeparator("f", MakeChild(3));
+  // Remove middle child (covers "d".."f").
+  node_->RemoveChildAt(2);
+  ASSERT_EQ(node_->num_children(), 3);
+  EXPECT_EQ(node_->FindChild("e"), node_->FindChild("b"));
+  EXPECT_EQ(node_->ChildAt(2)->raw(), MakeChild(3));
+  // Remove leftmost: slot 0's child becomes the new leftmost.
+  node_->RemoveChildAt(0);
+  ASSERT_EQ(node_->num_children(), 2);
+  EXPECT_EQ(node_->ChildAt(0)->raw(), MakeChild(1));
+}
+
+TEST_F(InnerNodeTest, SplitDistributesChildren) {
+  std::vector<std::string> keys;
+  int i = 0;
+  while (node_->HasSpaceFor(8)) {
+    char buf[16];
+    snprintf(buf, sizeof(buf), "k%06d", i);
+    keys.push_back(buf);
+    node_->InsertSeparator(buf, MakeChild(static_cast<uint64_t>(i + 1)));
+    ++i;
+  }
+  uint16_t before = node_->count();
+  std::vector<char> right_page(kPageSize);
+  std::string sep;
+  node_->Split(right_page.data(), &sep);
+  InnerNode* right = InnerNode::Cast(right_page.data());
+  // Every key routes to the correct half relative to the separator.
+  EXPECT_EQ(node_->count() + right->count() + 1, before);
+  for (const auto& k : keys) {
+    if (Slice(k).compare(sep) < 0) {
+      EXPECT_LT(node_->FindChild(k), node_->num_children());
+    } else {
+      EXPECT_LT(right->FindChild(k), right->num_children());
+    }
+  }
+}
+
+TEST_F(InnerNodeTest, FindChildBySwipWord) {
+  node_->InsertSeparator("x", MakeChild(5));
+  // Hot pointer lookup: fabricate an aligned fake frame pointer.
+  alignas(8) static char fake_frame[8];
+  uint64_t hot = reinterpret_cast<uint64_t>(&fake_frame);
+  node_->SetChildRaw(1, hot);
+  EXPECT_EQ(node_->FindChildBySwipWord(hot), 1);
+  EXPECT_EQ(node_->FindChildBySwipWord(0x12345670), -1);
+}
+
+// --- IndexLeaf ---------------------------------------------------------------
+
+class IndexLeafTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    page_.resize(kPageSize);
+    leaf_ = IndexLeaf::Init(page_.data());
+  }
+  std::vector<char> page_;
+  IndexLeaf* leaf_;
+};
+
+TEST_F(IndexLeafTest, InsertFindRemove) {
+  EXPECT_TRUE(leaf_->Insert("banana", 2));
+  EXPECT_TRUE(leaf_->Insert("apple", 1));
+  EXPECT_TRUE(leaf_->Insert("cherry", 3));
+  EXPECT_FALSE(leaf_->Insert("apple", 9));  // duplicate
+  EXPECT_EQ(leaf_->count(), 3);
+  EXPECT_EQ(leaf_->KeyAt(0), Slice("apple"));
+  EXPECT_EQ(leaf_->ValueAt(leaf_->Find("cherry")), 3u);
+  EXPECT_EQ(leaf_->Find("durian"), -1);
+  EXPECT_TRUE(leaf_->Remove("banana"));
+  EXPECT_FALSE(leaf_->Remove("banana"));
+  EXPECT_EQ(leaf_->count(), 2);
+}
+
+TEST_F(IndexLeafTest, LowerBound) {
+  leaf_->Insert("b", 1);
+  leaf_->Insert("d", 2);
+  leaf_->Insert("f", 3);
+  EXPECT_EQ(leaf_->LowerBound("a"), 0);
+  EXPECT_EQ(leaf_->LowerBound("b"), 0);
+  EXPECT_EQ(leaf_->LowerBound("c"), 1);
+  EXPECT_EQ(leaf_->LowerBound("f"), 2);
+  EXPECT_EQ(leaf_->LowerBound("z"), 3);
+}
+
+TEST_F(IndexLeafTest, CompactReclaimsDeadHeapBytes) {
+  // Fill, remove half, compact: free space grows back.
+  int i = 0;
+  while (leaf_->HasSpaceFor(32)) {
+    char buf[40];
+    snprintf(buf, sizeof(buf), "key-%08d-padpadpadpad", i++);
+    leaf_->Insert(buf, static_cast<uint64_t>(i));
+  }
+  size_t full_free = leaf_->FreeSpace();
+  for (int k = 0; k < i; k += 2) {
+    char buf[40];
+    snprintf(buf, sizeof(buf), "key-%08d-padpadpadpad", k);
+    ASSERT_TRUE(leaf_->Remove(buf));
+  }
+  leaf_->Compact();
+  EXPECT_GT(leaf_->FreeSpace(), full_free + (i / 2) * 16u);
+  // Survivors intact and sorted.
+  for (uint16_t s = 1; s < leaf_->count(); ++s) {
+    EXPECT_LT(leaf_->KeyAt(s - 1).compare(leaf_->KeyAt(s)), 0);
+  }
+}
+
+TEST_F(IndexLeafTest, SplitSetsFences) {
+  EXPECT_FALSE(leaf_->has_upper_fence());
+  int i = 0;
+  while (leaf_->HasSpaceFor(16)) {
+    char buf[20];
+    snprintf(buf, sizeof(buf), "k%010d", i++);
+    leaf_->Insert(buf, static_cast<uint64_t>(i));
+  }
+  std::vector<char> right_page(kPageSize);
+  std::string sep;
+  leaf_->Split(right_page.data(), &sep);
+  IndexLeaf* right = IndexLeaf::Cast(right_page.data());
+  // Left's upper fence == separator == right's first key; right inherits no
+  // fence (was rightmost).
+  ASSERT_TRUE(leaf_->has_upper_fence());
+  EXPECT_EQ(leaf_->upper_fence(), Slice(sep));
+  EXPECT_EQ(right->KeyAt(0), Slice(sep));
+  EXPECT_FALSE(right->has_upper_fence());
+  // Split again on the left: new right inherits left's old fence.
+  std::vector<char> mid_page(kPageSize);
+  std::string sep2;
+  leaf_->Split(mid_page.data(), &sep2);
+  IndexLeaf* mid = IndexLeaf::Cast(mid_page.data());
+  ASSERT_TRUE(mid->has_upper_fence());
+  EXPECT_EQ(mid->upper_fence(), Slice(sep));
+  EXPECT_EQ(leaf_->upper_fence(), Slice(sep2));
+}
+
+TEST_F(IndexLeafTest, RandomizedAgainstMap) {
+  Random rng(33);
+  std::map<std::string, uint64_t> model;
+  for (int step = 0; step < 5000; ++step) {
+    std::string key = "k" + std::to_string(rng.Uniform(300));
+    if (rng.OneIn(3)) {
+      bool existed = model.erase(key) > 0;
+      EXPECT_EQ(leaf_->Remove(key), existed);
+    } else if (leaf_->HasSpaceFor(key.size())) {
+      bool fresh = model.emplace(key, step).second;
+      EXPECT_EQ(leaf_->Insert(key, static_cast<uint64_t>(step)), fresh);
+    }
+  }
+  EXPECT_EQ(leaf_->count(), model.size());
+  uint16_t s = 0;
+  for (const auto& [k, v] : model) {
+    EXPECT_EQ(leaf_->KeyAt(s).ToString(), k);
+    EXPECT_EQ(leaf_->ValueAt(s), v);
+    ++s;
+  }
+}
+
+}  // namespace
+}  // namespace phoebe
