@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp1_tpmc.dir/exp1_tpmc.cc.o"
+  "CMakeFiles/exp1_tpmc.dir/exp1_tpmc.cc.o.d"
+  "exp1_tpmc"
+  "exp1_tpmc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp1_tpmc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

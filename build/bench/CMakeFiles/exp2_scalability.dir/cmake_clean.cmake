@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp2_scalability.dir/exp2_scalability.cc.o"
+  "CMakeFiles/exp2_scalability.dir/exp2_scalability.cc.o.d"
+  "exp2_scalability"
+  "exp2_scalability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp2_scalability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

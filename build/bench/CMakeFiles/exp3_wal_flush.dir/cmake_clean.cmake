@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp3_wal_flush.dir/exp3_wal_flush.cc.o"
+  "CMakeFiles/exp3_wal_flush.dir/exp3_wal_flush.cc.o.d"
+  "exp3_wal_flush"
+  "exp3_wal_flush.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp3_wal_flush.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for exp3_wal_flush.
+# This may be replaced when dependencies are built.

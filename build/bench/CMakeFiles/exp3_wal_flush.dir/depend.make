@@ -1,0 +1,2 @@
+# Empty dependencies file for exp3_wal_flush.
+# This may be replaced when dependencies are built.

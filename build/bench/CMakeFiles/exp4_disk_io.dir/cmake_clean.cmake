@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp4_disk_io.dir/exp4_disk_io.cc.o"
+  "CMakeFiles/exp4_disk_io.dir/exp4_disk_io.cc.o.d"
+  "exp4_disk_io"
+  "exp4_disk_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp4_disk_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp5_buffer_size.dir/exp5_buffer_size.cc.o"
+  "CMakeFiles/exp5_buffer_size.dir/exp5_buffer_size.cc.o.d"
+  "exp5_buffer_size"
+  "exp5_buffer_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp5_buffer_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp6_coroutine_vs_thread.dir/exp6_coroutine_vs_thread.cc.o"
+  "CMakeFiles/exp6_coroutine_vs_thread.dir/exp6_coroutine_vs_thread.cc.o.d"
+  "exp6_coroutine_vs_thread"
+  "exp6_coroutine_vs_thread.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp6_coroutine_vs_thread.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

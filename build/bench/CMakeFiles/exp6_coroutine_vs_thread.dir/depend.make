@@ -1,0 +1,2 @@
+# Empty dependencies file for exp6_coroutine_vs_thread.
+# This may be replaced when dependencies are built.

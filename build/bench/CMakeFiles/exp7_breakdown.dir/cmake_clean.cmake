@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp7_breakdown.dir/exp7_breakdown.cc.o"
+  "CMakeFiles/exp7_breakdown.dir/exp7_breakdown.cc.o.d"
+  "exp7_breakdown"
+  "exp7_breakdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp7_breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

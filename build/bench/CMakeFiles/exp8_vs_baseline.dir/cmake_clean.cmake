@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp8_vs_baseline.dir/exp8_vs_baseline.cc.o"
+  "CMakeFiles/exp8_vs_baseline.dir/exp8_vs_baseline.cc.o.d"
+  "exp8_vs_baseline"
+  "exp8_vs_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp8_vs_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp9_odb.dir/exp9_odb.cc.o"
+  "CMakeFiles/exp9_odb.dir/exp9_odb.cc.o.d"
+  "exp9_odb"
+  "exp9_odb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp9_odb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

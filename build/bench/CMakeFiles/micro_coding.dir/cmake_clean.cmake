@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_coding.dir/micro_coding.cc.o"
+  "CMakeFiles/micro_coding.dir/micro_coding.cc.o.d"
+  "micro_coding"
+  "micro_coding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_coding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

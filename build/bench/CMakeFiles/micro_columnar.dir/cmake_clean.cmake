@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_columnar.dir/micro_columnar.cc.o"
+  "CMakeFiles/micro_columnar.dir/micro_columnar.cc.o.d"
+  "micro_columnar"
+  "micro_columnar.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_columnar.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

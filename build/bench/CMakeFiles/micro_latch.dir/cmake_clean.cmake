@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_latch.dir/micro_latch.cc.o"
+  "CMakeFiles/micro_latch.dir/micro_latch.cc.o.d"
+  "micro_latch"
+  "micro_latch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_latch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

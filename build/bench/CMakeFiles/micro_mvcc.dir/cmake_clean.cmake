@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_mvcc.dir/micro_mvcc.cc.o"
+  "CMakeFiles/micro_mvcc.dir/micro_mvcc.cc.o.d"
+  "micro_mvcc"
+  "micro_mvcc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_mvcc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_snapshot.dir/micro_snapshot.cc.o"
+  "CMakeFiles/micro_snapshot.dir/micro_snapshot.cc.o.d"
+  "micro_snapshot"
+  "micro_snapshot.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_snapshot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

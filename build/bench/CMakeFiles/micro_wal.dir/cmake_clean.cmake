@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_wal.dir/micro_wal.cc.o"
+  "CMakeFiles/micro_wal.dir/micro_wal.cc.o.d"
+  "micro_wal"
+  "micro_wal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_wal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

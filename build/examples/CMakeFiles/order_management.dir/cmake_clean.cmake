@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/order_management.dir/order_management.cpp.o"
+  "CMakeFiles/order_management.dir/order_management.cpp.o.d"
+  "order_management"
+  "order_management.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/order_management.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/temperature_tiers.dir/temperature_tiers.cpp.o"
+  "CMakeFiles/temperature_tiers.dir/temperature_tiers.cpp.o.d"
+  "temperature_tiers"
+  "temperature_tiers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/temperature_tiers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/phoebe_baseline.dir/lock_table.cc.o"
+  "CMakeFiles/phoebe_baseline.dir/lock_table.cc.o.d"
+  "libphoebe_baseline.a"
+  "libphoebe_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/phoebe_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/phoebe_buffer.dir/buffer_pool.cc.o"
+  "CMakeFiles/phoebe_buffer.dir/buffer_pool.cc.o.d"
+  "libphoebe_buffer.a"
+  "libphoebe_buffer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/phoebe_buffer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

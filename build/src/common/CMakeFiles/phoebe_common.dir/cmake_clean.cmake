@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/phoebe_common.dir/coding.cc.o"
+  "CMakeFiles/phoebe_common.dir/coding.cc.o.d"
+  "CMakeFiles/phoebe_common.dir/crc32.cc.o"
+  "CMakeFiles/phoebe_common.dir/crc32.cc.o.d"
+  "CMakeFiles/phoebe_common.dir/profiler.cc.o"
+  "CMakeFiles/phoebe_common.dir/profiler.cc.o.d"
+  "CMakeFiles/phoebe_common.dir/random.cc.o"
+  "CMakeFiles/phoebe_common.dir/random.cc.o.d"
+  "CMakeFiles/phoebe_common.dir/status.cc.o"
+  "CMakeFiles/phoebe_common.dir/status.cc.o.d"
+  "libphoebe_common.a"
+  "libphoebe_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/phoebe_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libphoebe_common.a"
+)

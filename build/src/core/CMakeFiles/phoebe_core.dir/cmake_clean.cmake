@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/phoebe_core.dir/catalog.cc.o"
+  "CMakeFiles/phoebe_core.dir/catalog.cc.o.d"
+  "CMakeFiles/phoebe_core.dir/database.cc.o"
+  "CMakeFiles/phoebe_core.dir/database.cc.o.d"
+  "CMakeFiles/phoebe_core.dir/table.cc.o"
+  "CMakeFiles/phoebe_core.dir/table.cc.o.d"
+  "libphoebe_core.a"
+  "libphoebe_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/phoebe_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/io/async_io.cc" "src/io/CMakeFiles/phoebe_io.dir/async_io.cc.o" "gcc" "src/io/CMakeFiles/phoebe_io.dir/async_io.cc.o.d"
+  "/root/repo/src/io/env.cc" "src/io/CMakeFiles/phoebe_io.dir/env.cc.o" "gcc" "src/io/CMakeFiles/phoebe_io.dir/env.cc.o.d"
+  "/root/repo/src/io/page_file.cc" "src/io/CMakeFiles/phoebe_io.dir/page_file.cc.o" "gcc" "src/io/CMakeFiles/phoebe_io.dir/page_file.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/phoebe_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/phoebe_io.dir/async_io.cc.o"
+  "CMakeFiles/phoebe_io.dir/async_io.cc.o.d"
+  "CMakeFiles/phoebe_io.dir/env.cc.o"
+  "CMakeFiles/phoebe_io.dir/env.cc.o.d"
+  "CMakeFiles/phoebe_io.dir/page_file.cc.o"
+  "CMakeFiles/phoebe_io.dir/page_file.cc.o.d"
+  "libphoebe_io.a"
+  "libphoebe_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/phoebe_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

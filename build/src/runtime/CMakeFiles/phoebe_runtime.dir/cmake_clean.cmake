@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/phoebe_runtime.dir/scheduler.cc.o"
+  "CMakeFiles/phoebe_runtime.dir/scheduler.cc.o.d"
+  "CMakeFiles/phoebe_runtime.dir/thread_executor.cc.o"
+  "CMakeFiles/phoebe_runtime.dir/thread_executor.cc.o.d"
+  "libphoebe_runtime.a"
+  "libphoebe_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/phoebe_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

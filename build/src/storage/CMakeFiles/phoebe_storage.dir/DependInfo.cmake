@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/storage/btree.cc" "src/storage/CMakeFiles/phoebe_storage.dir/btree.cc.o" "gcc" "src/storage/CMakeFiles/phoebe_storage.dir/btree.cc.o.d"
+  "/root/repo/src/storage/frozen_block.cc" "src/storage/CMakeFiles/phoebe_storage.dir/frozen_block.cc.o" "gcc" "src/storage/CMakeFiles/phoebe_storage.dir/frozen_block.cc.o.d"
+  "/root/repo/src/storage/frozen_store.cc" "src/storage/CMakeFiles/phoebe_storage.dir/frozen_store.cc.o" "gcc" "src/storage/CMakeFiles/phoebe_storage.dir/frozen_store.cc.o.d"
+  "/root/repo/src/storage/schema.cc" "src/storage/CMakeFiles/phoebe_storage.dir/schema.cc.o" "gcc" "src/storage/CMakeFiles/phoebe_storage.dir/schema.cc.o.d"
+  "/root/repo/src/storage/table_leaf.cc" "src/storage/CMakeFiles/phoebe_storage.dir/table_leaf.cc.o" "gcc" "src/storage/CMakeFiles/phoebe_storage.dir/table_leaf.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/phoebe_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/phoebe_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/buffer/CMakeFiles/phoebe_buffer.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/phoebe_storage.dir/btree.cc.o"
+  "CMakeFiles/phoebe_storage.dir/btree.cc.o.d"
+  "CMakeFiles/phoebe_storage.dir/frozen_block.cc.o"
+  "CMakeFiles/phoebe_storage.dir/frozen_block.cc.o.d"
+  "CMakeFiles/phoebe_storage.dir/frozen_store.cc.o"
+  "CMakeFiles/phoebe_storage.dir/frozen_store.cc.o.d"
+  "CMakeFiles/phoebe_storage.dir/schema.cc.o"
+  "CMakeFiles/phoebe_storage.dir/schema.cc.o.d"
+  "CMakeFiles/phoebe_storage.dir/table_leaf.cc.o"
+  "CMakeFiles/phoebe_storage.dir/table_leaf.cc.o.d"
+  "libphoebe_storage.a"
+  "libphoebe_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/phoebe_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/phoebe_tpcc.dir/tpcc_driver.cc.o"
+  "CMakeFiles/phoebe_tpcc.dir/tpcc_driver.cc.o.d"
+  "CMakeFiles/phoebe_tpcc.dir/tpcc_loader.cc.o"
+  "CMakeFiles/phoebe_tpcc.dir/tpcc_loader.cc.o.d"
+  "CMakeFiles/phoebe_tpcc.dir/tpcc_schema.cc.o"
+  "CMakeFiles/phoebe_tpcc.dir/tpcc_schema.cc.o.d"
+  "CMakeFiles/phoebe_tpcc.dir/tpcc_txns.cc.o"
+  "CMakeFiles/phoebe_tpcc.dir/tpcc_txns.cc.o.d"
+  "libphoebe_tpcc.a"
+  "libphoebe_tpcc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/phoebe_tpcc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

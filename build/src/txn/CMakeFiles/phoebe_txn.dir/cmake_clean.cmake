@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/phoebe_txn.dir/txn_manager.cc.o"
+  "CMakeFiles/phoebe_txn.dir/txn_manager.cc.o.d"
+  "CMakeFiles/phoebe_txn.dir/undo.cc.o"
+  "CMakeFiles/phoebe_txn.dir/undo.cc.o.d"
+  "CMakeFiles/phoebe_txn.dir/visibility.cc.o"
+  "CMakeFiles/phoebe_txn.dir/visibility.cc.o.d"
+  "libphoebe_txn.a"
+  "libphoebe_txn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/phoebe_txn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/phoebe_wal.dir/record.cc.o"
+  "CMakeFiles/phoebe_wal.dir/record.cc.o.d"
+  "CMakeFiles/phoebe_wal.dir/recovery.cc.o"
+  "CMakeFiles/phoebe_wal.dir/recovery.cc.o.d"
+  "CMakeFiles/phoebe_wal.dir/wal_manager.cc.o"
+  "CMakeFiles/phoebe_wal.dir/wal_manager.cc.o.d"
+  "libphoebe_wal.a"
+  "libphoebe_wal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/phoebe_wal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

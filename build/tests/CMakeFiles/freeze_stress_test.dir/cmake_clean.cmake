@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/freeze_stress_test.dir/freeze_stress_test.cc.o"
+  "CMakeFiles/freeze_stress_test.dir/freeze_stress_test.cc.o.d"
+  "freeze_stress_test"
+  "freeze_stress_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/freeze_stress_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

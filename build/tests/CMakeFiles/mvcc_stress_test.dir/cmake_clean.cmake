@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mvcc_stress_test.dir/mvcc_stress_test.cc.o"
+  "CMakeFiles/mvcc_stress_test.dir/mvcc_stress_test.cc.o.d"
+  "mvcc_stress_test"
+  "mvcc_stress_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mvcc_stress_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tpcc_loader_test.dir/tpcc_loader_test.cc.o"
+  "CMakeFiles/tpcc_loader_test.dir/tpcc_loader_test.cc.o.d"
+  "tpcc_loader_test"
+  "tpcc_loader_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tpcc_loader_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

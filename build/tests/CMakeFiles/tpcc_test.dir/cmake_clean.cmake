@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tpcc_test.dir/tpcc_test.cc.o"
+  "CMakeFiles/tpcc_test.dir/tpcc_test.cc.o.d"
+  "tpcc_test"
+  "tpcc_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tpcc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

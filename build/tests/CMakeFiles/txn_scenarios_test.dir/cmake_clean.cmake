@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/txn_scenarios_test.dir/txn_scenarios_test.cc.o"
+  "CMakeFiles/txn_scenarios_test.dir/txn_scenarios_test.cc.o.d"
+  "txn_scenarios_test"
+  "txn_scenarios_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/txn_scenarios_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
