@@ -309,4 +309,5 @@ src/io/CMakeFiles/phoebe_io.dir/page_file.cc.o: \
  /usr/lib/gcc/x86_64-linux-gnu/12/include/mm3dnow.h \
  /usr/lib/gcc/x86_64-linux-gnu/12/include/fma4intrin.h \
  /usr/lib/gcc/x86_64-linux-gnu/12/include/ammintrin.h \
- /usr/lib/gcc/x86_64-linux-gnu/12/include/xopintrin.h
+ /usr/lib/gcc/x86_64-linux-gnu/12/include/xopintrin.h \
+ /root/repo/src/common/crc32.h

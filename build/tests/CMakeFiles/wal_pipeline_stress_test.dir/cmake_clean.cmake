@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wal_pipeline_stress_test.dir/wal_pipeline_stress_test.cc.o"
+  "CMakeFiles/wal_pipeline_stress_test.dir/wal_pipeline_stress_test.cc.o.d"
+  "wal_pipeline_stress_test"
+  "wal_pipeline_stress_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wal_pipeline_stress_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Builds the ThreadSanitizer preset and runs the concurrency-heavy tests
+# under it: the WAL pipeline (double-buffered appends, group commit
+# wakeups, truncate races), and the MVCC stress suite. Usage:
+#   scripts/run_tsan.sh [extra ctest args...]
+set -eu
+
+cd "$(dirname "$0")/.."
+
+TESTS=(wal_test wal_pipeline_stress_test recovery_property_test mvcc_stress_test)
+
+cmake --preset tsan
+cmake --build --preset tsan -j "$(nproc)" --target "${TESTS[@]}"
+
+export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1 second_deadlock_stack=1}"
+fail=0
+for t in "${TESTS[@]}"; do
+  echo "===== tsan: $t ====="
+  if ! "build-tsan/tests/$t"; then
+    fail=1
+  fi
+done
+exit "$fail"

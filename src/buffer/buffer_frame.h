@@ -41,6 +41,11 @@ struct alignas(64) BufferFrame {
   std::atomic<FrameState> state{FrameState::kFree};
   std::atomic<bool> dirty{false};
 
+  /// True while an entry for this frame sits in its partition's cooling
+  /// FIFO. RemoveCooling clears it in O(1) (lazy tombstone); PopCooling
+  /// skips deque entries whose flag is already clear.
+  std::atomic<bool> in_cooling{false};
+
   /// Page GSN for the parallel-WAL RFA protocol (Section 8): the GSN of the
   /// last log record that modified this page, and the id of the WAL writer
   /// (task slot) that produced it.
@@ -67,6 +72,7 @@ struct alignas(64) BufferFrame {
 
   void ResetHeader() {
     twin.store(nullptr, std::memory_order_relaxed);
+    in_cooling.store(false, std::memory_order_relaxed);
     page_id = kInvalidPageId;
     btree = nullptr;
     parent = nullptr;

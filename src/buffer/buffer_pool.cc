@@ -67,27 +67,10 @@ void BufferPool::FreeFrame(BufferFrame* bf) {
   part.free_list.push_back(bf);
 }
 
-void BufferPool::StampPageCrc(char* page) {
-  memset(page + kPageCrcOffset, 0, 4);
-  uint32_t crc = Crc32c(page, kPageSize);
-  memcpy(page + kPageCrcOffset, &crc, 4);
-}
+void BufferPool::StampPageCrc(char* page) { phoebe::StampPageCrc(page); }
 
 Status BufferPool::VerifyPageCrc(const char* page, PageId id) {
-  uint32_t stored;
-  memcpy(&stored, page + kPageCrcOffset, 4);
-  char scratch[4] = {0, 0, 0, 0};
-  // Compute with the crc bytes zeroed, without copying the page: CRC over
-  // [0, off) + zeros + (off+4, end).
-  uint32_t crc = Crc32c(page, kPageCrcOffset);
-  crc = Crc32c(scratch, 4, crc);
-  crc = Crc32c(page + kPageCrcOffset + 4, kPageSize - kPageCrcOffset - 4,
-               crc);
-  if (crc != stored) {
-    return Status::Corruption("page checksum mismatch on page " +
-                              std::to_string(id));
-  }
-  return Status::OK();
+  return phoebe::VerifyPageCrc(page, id);
 }
 
 Status BufferPool::LoadPageSync(PageId id, BufferFrame* bf) {
@@ -117,28 +100,69 @@ Status BufferPool::WriteBack(BufferFrame* bf) {
   return Status::OK();
 }
 
+Status BufferPool::WriteBackBatch(BufferFrame* const* frames, size_t n,
+                                  Status* statuses) {
+  if (n == 0) return Status::OK();
+  if (n == 1) {
+    statuses[0] = WriteBack(frames[0]);
+    return statuses[0];
+  }
+  std::vector<AsyncIoEngine::Request> reqs(n);
+  std::vector<AsyncIoEngine::Request*> ptrs(n);
+  for (size_t i = 0; i < n; ++i) {
+    BufferFrame* bf = frames[i];
+    if (bf->page_id == kInvalidPageId) {
+      bf->page_id = page_file_->AllocatePage();
+    }
+    reqs[i].op = AsyncIoEngine::Request::Op::kWrite;
+    reqs[i].stamp_crc = true;  // stamped on the I/O thread
+    reqs[i].file = page_file_;
+    reqs[i].page_id = bf->page_id;
+    reqs[i].buf = bf->page;
+    ptrs[i] = &reqs[i];
+  }
+  io_.SubmitBatch(ptrs.data(), n);
+  Status first = io_.WaitAll(ptrs.data(), n);
+  for (size_t i = 0; i < n; ++i) {
+    statuses[i] = reqs[i].result;
+    if (reqs[i].result.ok()) {
+      frames[i]->dirty.store(false, std::memory_order_release);
+      stats_.evictions.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  return first;
+}
+
 void BufferPool::PushCooling(BufferFrame* bf) {
   bf->state.store(FrameState::kCooling, std::memory_order_release);
   Partition& part = *parts_[bf->partition];
   std::lock_guard<std::mutex> lk(part.mu);
+  bf->in_cooling.store(true, std::memory_order_relaxed);
   part.cooling.push_back(bf);
+  ++part.live_cooling;
 }
 
 BufferFrame* BufferPool::PopCooling(uint32_t partition) {
   Partition& part = *parts_[partition % partitions()];
   std::lock_guard<std::mutex> lk(part.mu);
-  if (part.cooling.empty()) return nullptr;
-  BufferFrame* bf = part.cooling.front();
-  part.cooling.pop_front();
-  return bf;
+  while (!part.cooling.empty()) {
+    BufferFrame* bf = part.cooling.front();
+    part.cooling.pop_front();
+    // Lazily skip entries tombstoned by RemoveCooling.
+    if (!bf->in_cooling.load(std::memory_order_relaxed)) continue;
+    bf->in_cooling.store(false, std::memory_order_relaxed);
+    --part.live_cooling;
+    return bf;
+  }
+  return nullptr;
 }
 
 bool BufferPool::RemoveCooling(BufferFrame* bf) {
   Partition& part = *parts_[bf->partition];
   std::lock_guard<std::mutex> lk(part.mu);
-  auto it = std::find(part.cooling.begin(), part.cooling.end(), bf);
-  if (it == part.cooling.end()) return false;
-  part.cooling.erase(it);
+  if (!bf->in_cooling.load(std::memory_order_relaxed)) return false;
+  bf->in_cooling.store(false, std::memory_order_relaxed);
+  --part.live_cooling;
   return true;
 }
 
@@ -159,7 +183,7 @@ size_t BufferPool::FreeFrames(uint32_t partition) const {
 size_t BufferPool::CoolingFrames(uint32_t partition) const {
   const Partition& part = *parts_[partition % partitions()];
   std::lock_guard<std::mutex> lk(part.mu);
-  return part.cooling.size();
+  return part.live_cooling;
 }
 
 }  // namespace phoebe

@@ -64,11 +64,20 @@ class BufferPool {
   /// Clears the dirty bit on success.
   Status WriteBack(BufferFrame* bf);
 
+  /// Batched write-back: submits all `n` frames to the async I/O engine in
+  /// one batch (CRC stamping happens on the I/O threads) and waits for the
+  /// whole batch. Per-frame results land in `statuses` (must hold `n`);
+  /// returns the first non-OK status. Dirty bits clear per-frame on success.
+  Status WriteBackBatch(BufferFrame* const* frames, size_t n,
+                        Status* statuses);
+
   /// Cooling FIFO management. Push: frame enters cooling stage; Pop: oldest
   /// cooling frame of the partition (nullptr if none).
   void PushCooling(BufferFrame* bf);
   BufferFrame* PopCooling(uint32_t partition);
   /// Removes `bf` from its cooling FIFO if still present (second chance).
+  /// O(1): flips the frame's tombstone flag; the stale deque entry is
+  /// skipped lazily by PopCooling.
   bool RemoveCooling(BufferFrame* bf);
 
   /// True when the partition's free list is below the low watermark and the
@@ -111,6 +120,9 @@ class BufferPool {
     mutable std::mutex mu;
     std::vector<BufferFrame*> free_list;
     std::deque<BufferFrame*> cooling;
+    /// Entries in `cooling` whose in_cooling flag is still set (the deque
+    /// itself may carry tombstoned entries awaiting a lazy skip).
+    size_t live_cooling = 0;
   };
 
   PageFile* page_file_;

@@ -18,6 +18,11 @@ inline constexpr RowId kInvalidRowId = 0;
 using PageId = uint64_t;
 inline constexpr PageId kInvalidPageId = ~0ull;
 
+/// Byte offset of the whole-page CRC32C within every page (the `crc` field
+/// of the storage layer's NodeHeader). Lives here so the I/O layer can stamp
+/// and verify checksums without depending on the storage layer.
+inline constexpr size_t kPageCrcOffset = 8;
+
 /// Transaction identifier. The most significant bit is 1 (distinguishing an
 /// XID from a commit timestamp), the low 62 bits hold the start timestamp
 /// drawn from the global logical clock, and one bit is reserved (Section

@@ -72,6 +72,8 @@ Status Database::Init() {
   wal_opts.enable_rfa =
       options_.enable_rfa && !options_.baseline_single_wal_writer;
   wal_opts.flush_interval_us = options_.wal_flush_interval_us;
+  wal_opts.writer_buffer_bytes =
+      static_cast<size_t>(options_.wal_writer_buffer_bytes);
   auto wal = WalManager::Open(env_, wal_opts);
   if (!wal.ok()) return wal.status();
   wal_ = std::move(wal.value());

@@ -29,6 +29,8 @@ struct DatabaseOptions {
   bool enable_rfa = true;         // Remote Flush Avoidance (Section 8)
   uint32_t wal_flushers = 2;
   uint32_t wal_flush_interval_us = 100;
+  /// Per-writer WAL pipeline buffer capacity (two buffers per writer).
+  uint64_t wal_writer_buffer_bytes = 64 << 10;
 
   /// Baseline ("traditional RDBMS") switches.
   bool baseline_single_wal_writer = false;  // centralized, serialized WAL

@@ -29,11 +29,38 @@ void AsyncIoEngine::Submit(Request* req) {
   cv_.notify_one();
 }
 
+void AsyncIoEngine::SubmitBatch(Request* const* reqs, size_t n) {
+  if (n == 0) return;
+  for (size_t i = 0; i < n; ++i) {
+    reqs[i]->state.store(ReqState::kPending, std::memory_order_relaxed);
+  }
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    for (size_t i = 0; i < n; ++i) queue_.push_back(reqs[i]);
+    depth_.fetch_add(n, std::memory_order_relaxed);
+  }
+  if (n == 1) {
+    cv_.notify_one();
+  } else {
+    cv_.notify_all();
+  }
+}
+
 Status AsyncIoEngine::Wait(Request* req) {
-  while (!req->done()) {
-    std::this_thread::yield();
+  if (!req->done()) {
+    std::unique_lock<std::mutex> lk(comp_mu_);
+    comp_cv_.wait(lk, [&] { return req->done(); });
   }
   return req->result;
+}
+
+Status AsyncIoEngine::WaitAll(Request* const* reqs, size_t n) {
+  Status first = Status::OK();
+  for (size_t i = 0; i < n; ++i) {
+    Status st = Wait(reqs[i]);
+    if (!st.ok() && first.ok()) first = st;
+  }
+  return first;
 }
 
 void AsyncIoEngine::IoThreadMain() {
@@ -51,9 +78,16 @@ void AsyncIoEngine::IoThreadMain() {
     if (req->op == Request::Op::kRead) {
       req->result = req->file->ReadPage(req->page_id, req->buf);
     } else {
+      if (req->stamp_crc) StampPageCrc(req->buf);
       req->result = req->file->WritePage(req->page_id, req->buf);
     }
-    req->state.store(ReqState::kDone, std::memory_order_release);
+    {
+      // Publish completion under comp_mu_ so Wait's predicate check cannot
+      // miss the transition.
+      std::lock_guard<std::mutex> lk(comp_mu_);
+      req->state.store(ReqState::kDone, std::memory_order_release);
+    }
+    comp_cv_.notify_all();
   }
 }
 

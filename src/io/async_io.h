@@ -29,6 +29,10 @@ class AsyncIoEngine {
 
   struct Request {
     enum class Op : uint8_t { kRead, kWrite } op = Op::kRead;
+    /// Writes only: stamp the page CRC on the I/O thread just before the
+    /// write, keeping the checksum computation off the submitter's critical
+    /// path (batched dirty-page write-back).
+    bool stamp_crc = false;
     PageFile* file = nullptr;
     PageId page_id = 0;
     char* buf = nullptr;  // caller-owned, kPageSize bytes
@@ -50,9 +54,17 @@ class AsyncIoEngine {
   /// must not be reused until done().
   void Submit(Request* req);
 
+  /// Enqueues `n` requests under one submission-queue lock (io_uring-style
+  /// batched submit): one wakeup covers the whole batch.
+  void SubmitBatch(Request* const* reqs, size_t n);
+
   /// Blocks the calling OS thread until the request completes (used by
   /// non-coroutine contexts such as recovery and tests).
   Status Wait(Request* req);
+
+  /// Blocks until every request in the batch completes. Returns the first
+  /// non-OK result (each request still carries its own status).
+  Status WaitAll(Request* const* reqs, size_t n);
 
   size_t queue_depth() const {
     return depth_.load(std::memory_order_relaxed);
@@ -67,6 +79,11 @@ class AsyncIoEngine {
   std::vector<std::thread> threads_;
   std::atomic<size_t> depth_{0};
   bool stop_ = false;
+
+  /// Completion signal for blocking waiters (Wait/WaitAll); request state
+  /// itself stays pollable for the coroutine scheduler.
+  std::mutex comp_mu_;
+  std::condition_variable comp_cv_;
 };
 
 }  // namespace phoebe

@@ -1,6 +1,33 @@
 #include "io/page_file.h"
 
+#include <cstring>
+
+#include "common/crc32.h"
+
 namespace phoebe {
+
+void StampPageCrc(char* page) {
+  memset(page + kPageCrcOffset, 0, 4);
+  uint32_t crc = Crc32c(page, kPageSize);
+  memcpy(page + kPageCrcOffset, &crc, 4);
+}
+
+Status VerifyPageCrc(const char* page, PageId id) {
+  uint32_t stored;
+  memcpy(&stored, page + kPageCrcOffset, 4);
+  char scratch[4] = {0, 0, 0, 0};
+  // Compute with the crc bytes zeroed, without copying the page: CRC over
+  // [0, off) + zeros + (off+4, end).
+  uint32_t crc = Crc32c(page, kPageCrcOffset);
+  crc = Crc32c(scratch, 4, crc);
+  crc = Crc32c(page + kPageCrcOffset + 4, kPageSize - kPageCrcOffset - 4,
+               crc);
+  if (crc != stored) {
+    return Status::Corruption("page checksum mismatch on page " +
+                              std::to_string(id));
+  }
+  return Status::OK();
+}
 
 Result<std::unique_ptr<PageFile>> PageFile::Open(Env* env,
                                                  const std::string& path,

@@ -15,6 +15,13 @@
 
 namespace phoebe {
 
+/// Page-checksum helpers (CRC32C over the page with the crc field zeroed).
+/// Stamped at write-back — by the async I/O threads for batched write-back,
+/// keeping the CRC off the evicting worker's critical path — and verified
+/// after every load.
+void StampPageCrc(char* page);
+Status VerifyPageCrc(const char* page, PageId id);
+
 /// A file of fixed-size (kPageSize) pages: the on-disk Data Page File of
 /// Section 5.1. Pages are addressed by PageId; freed pages are recycled via
 /// an in-memory free list (persisted state is reconstructed at recovery from

@@ -922,68 +922,107 @@ int BTreeRegistry::CoolRandomFrames(OpContext* ctx, uint32_t partition,
 }
 
 bool BTreeRegistry::TryEvictOneCooling(OpContext* ctx, uint32_t partition) {
+  return EvictCoolingBatch(ctx, partition, 1) > 0;
+}
+
+int BTreeRegistry::EvictCoolingBatch(OpContext* ctx, uint32_t partition,
+                                     int max_n) {
   ComponentScope prof(Component::kBufferManager);
-  BufferFrame* bf = pool_->PopCooling(partition);
-  if (bf == nullptr) return false;
-  if (bf->state.load(std::memory_order_acquire) != FrameState::kCooling) {
-    return false;  // already re-hot via second chance
-  }
-  BufferFrame* parent = bf->parent;
-  if (parent == nullptr) {
-    return false;
-  }
-  if (!parent->latch.TryLockExclusive()) {
-    pool_->PushCooling(bf);
-    return false;
-  }
-  if (bf->parent != parent || PageKind(parent->page) != NodeKind::kInner) {
-    parent->latch.UnlockExclusive();
-    pool_->PushCooling(bf);
-    return false;
-  }
-  if (!bf->latch.TryLockExclusive()) {
-    parent->latch.UnlockExclusive();
-    pool_->PushCooling(bf);
-    return false;
-  }
-  bool evicted = false;
-  InnerNode* pinner = InnerNode::Cast(parent->page);
-  int idx = pinner->FindChildBySwipWord(reinterpret_cast<uint64_t>(bf));
-  if (idx >= 0) {
-    Swip* swip = pinner->ChildAt(static_cast<uint16_t>(idx));
-    if (swip->raw() == Swip::CoolingWord(bf) &&
+  // A victim whose parent swip and latches are secured. Frames that need
+  // disk writes stay exclusively latched until the batched write-back
+  // completes; clean frames are unswizzled immediately.
+  struct Victim {
+    BufferFrame* bf;
+    BufferFrame* parent;
+    Swip* swip;
+  };
+  std::vector<Victim> pending;
+  int freed = 0;
+  for (int attempt = 0; attempt < max_n; ++attempt) {
+    BufferFrame* bf = pool_->PopCooling(partition);
+    if (bf == nullptr) break;
+    if (bf->state.load(std::memory_order_acquire) != FrameState::kCooling) {
+      continue;  // already re-hot via second chance
+    }
+    BufferFrame* parent = bf->parent;
+    if (parent == nullptr) continue;
+    if (!parent->latch.TryLockExclusive()) {
+      pool_->PushCooling(bf);
+      continue;
+    }
+    if (bf->parent != parent || PageKind(parent->page) != NodeKind::kInner) {
+      parent->latch.UnlockExclusive();
+      pool_->PushCooling(bf);
+      continue;
+    }
+    if (!bf->latch.TryLockExclusive()) {
+      parent->latch.UnlockExclusive();
+      pool_->PushCooling(bf);
+      continue;
+    }
+    InnerNode* pinner = InnerNode::Cast(parent->page);
+    int idx = pinner->FindChildBySwipWord(reinterpret_cast<uint64_t>(bf));
+    Swip* swip = idx >= 0 ? pinner->ChildAt(static_cast<uint16_t>(idx))
+                          : nullptr;
+    if (swip != nullptr && swip->raw() == Swip::CoolingWord(bf) &&
         bf->twin.load(std::memory_order_acquire) == nullptr) {
-      Status st = Status::OK();
-      if (bf->dirty.load(std::memory_order_acquire)) {
-        st = pool_->WriteBack(bf);
-      } else if (bf->page_id == kInvalidPageId) {
-        st = pool_->WriteBack(bf);  // never persisted yet
+      if (bf->dirty.load(std::memory_order_acquire) ||
+          bf->page_id == kInvalidPageId) {
+        // Defer to the batched write-back; latches stay held.
+        pending.push_back(Victim{bf, parent, swip});
+        continue;
       }
-      if (st.ok()) {
-        swip->SetEvicted(bf->page_id);
-        evicted = true;
-      }
-    } else if (swip->raw() == Swip::CoolingWord(bf)) {
+      // Clean and already persisted: unswizzle immediately.
+      swip->SetEvicted(bf->page_id);
+      parent->latch.UnlockExclusive();
+      bf->latch.UnlockExclusive();
+      pool_->FreeFrame(bf);
+      ++freed;
+      continue;
+    }
+    if (swip != nullptr && swip->raw() == Swip::CoolingWord(bf)) {
       // Pinned by a twin table: restore to HOT.
       swip->SetHot(bf);
       bf->state.store(FrameState::kHot, std::memory_order_release);
     }
+    parent->latch.UnlockExclusive();
+    bf->latch.UnlockExclusive();
   }
-  parent->latch.UnlockExclusive();
-  bf->latch.UnlockExclusive();
-  if (evicted) {
-    pool_->FreeFrame(bf);
-    return true;
+  if (!pending.empty()) {
+    std::vector<BufferFrame*> frames;
+    frames.reserve(pending.size());
+    for (const Victim& v : pending) frames.push_back(v.bf);
+    std::vector<Status> statuses(pending.size());
+    (void)pool_->WriteBackBatch(frames.data(), frames.size(),
+                                statuses.data());
+    for (size_t i = 0; i < pending.size(); ++i) {
+      const Victim& v = pending[i];
+      if (statuses[i].ok()) {
+        v.swip->SetEvicted(v.bf->page_id);
+        v.parent->latch.UnlockExclusive();
+        v.bf->latch.UnlockExclusive();
+        pool_->FreeFrame(v.bf);
+        ++freed;
+      } else {
+        // Write failed: the frame stays resident and cooling.
+        v.parent->latch.UnlockExclusive();
+        v.bf->latch.UnlockExclusive();
+        pool_->PushCooling(v.bf);
+      }
+    }
   }
-  return false;
+  return freed;
 }
 
 Status BTreeRegistry::EnsureFreeFrames(OpContext* ctx, uint32_t partition) {
+  // Batch size: enough to amortize I/O submission without holding too many
+  // page latches at once during the write-back.
+  constexpr int kEvictBatch = 8;
   int safety = static_cast<int>(pool_->frames_per_partition()) * 2 + 16;
   while ((pool_->FreeFrames(partition) == 0 ||
           pool_->NeedsEviction(partition)) &&
          safety-- > 0) {
-    if (TryEvictOneCooling(ctx, partition)) continue;
+    if (EvictCoolingBatch(ctx, partition, kEvictBatch) > 0) continue;
     if (CoolRandomFrames(ctx, partition, 8) == 0 &&
         pool_->CoolingFrames(partition) == 0) {
       // Nothing evictable in this partition.

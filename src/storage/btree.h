@@ -230,6 +230,13 @@ class BTreeRegistry {
   /// Attempts to evict one cooling frame; returns true if a frame was freed.
   bool TryEvictOneCooling(OpContext* ctx, uint32_t partition);
 
+  /// Pops up to `max_n` cooling frames, latches them, and writes the ones
+  /// needing persistence back through the async I/O engine as ONE batch
+  /// (CRCs stamped on the I/O threads), then unswizzles and frees every
+  /// successfully written victim. Returns the number of frames freed.
+  /// All latching is try-lock; contended victims go back to the FIFO.
+  int EvictCoolingBatch(OpContext* ctx, uint32_t partition, int max_n);
+
   BufferPool* pool() { return pool_; }
 
  private:

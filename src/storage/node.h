@@ -35,9 +35,7 @@ struct NodeHeader {
   uint32_t pad2;
 };
 static_assert(sizeof(NodeHeader) == 16);
-
-/// Byte offset of NodeHeader::crc within a page.
-inline constexpr size_t kPageCrcOffset = 8;
+static_assert(offsetof(NodeHeader, crc) == kPageCrcOffset);
 
 inline NodeKind PageKind(const char* page) {
   return static_cast<NodeKind>(static_cast<uint8_t>(page[0]));

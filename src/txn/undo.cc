@@ -25,15 +25,20 @@ int UndoArena::SizeClass(size_t n) {
 UndoRecord* UndoArena::AllocRaw(size_t delta_size) {
   int cls = SizeClass(delta_size);
   size_t cap = cls >= 0 ? kClassSizes[cls] : delta_size;
-  if (cls >= 0 && !free_lists_[cls].empty()) {
-    UndoRecord* rec = free_lists_[cls].back();
-    free_lists_[cls].pop_back();
-    return rec;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (cls >= 0 && !free_lists_[cls].empty()) {
+      UndoRecord* rec = free_lists_[cls].back();
+      free_lists_[cls].pop_back();
+      return rec;
+    }
   }
   void* mem = ::malloc(sizeof(UndoRecord) + cap);
   auto* rec = new (mem) UndoRecord();
   rec->delta_cap = static_cast<uint32_t>(cap);
-  pooled_bytes_ += sizeof(UndoRecord) + cap;
+  pooled_bytes_.fetch_add(sizeof(UndoRecord) + cap,
+                          std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lk(mu_);
   all_.push_back(rec);
   return rec;
 }
@@ -52,12 +57,15 @@ UndoRecord* UndoArena::Alloc(UndoKind kind, RelationId relation, RowId rid,
   rec->delta_len = static_cast<uint32_t>(delta.size());
   if (!delta.empty()) memcpy(rec->delta_data(), delta.data(), delta.size());
   rec->stamp.fetch_add(1, std::memory_order_release);  // odd -> even: live
-  queue_.push_back(rec);
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    queue_.push_back(rec);
+  }
   live_records_.fetch_add(1, std::memory_order_relaxed);
   return rec;
 }
 
-void UndoArena::Recycle(UndoRecord* rec) {
+void UndoArena::RecycleLocked(UndoRecord* rec) {
   rec->stamp.fetch_add(1, std::memory_order_release);  // even -> odd: dead
   int cls = SizeClass(rec->delta_cap);
   if (cls >= 0 && kClassSizes[cls] == rec->delta_cap) {
@@ -69,10 +77,11 @@ void UndoArena::Recycle(UndoRecord* rec) {
 }
 
 void UndoArena::FreeAborted(UndoRecord* rec) {
+  std::lock_guard<std::mutex> lk(mu_);
   for (auto it = queue_.rbegin(); it != queue_.rend(); ++it) {
     if (*it == rec) {
       queue_.erase(std::next(it).base());
-      Recycle(rec);
+      RecycleLocked(rec);
       return;
     }
   }
@@ -83,15 +92,27 @@ size_t UndoArena::ReclaimWhile(
     const std::function<void(const UndoRecord&)>& on_reclaim,
     uint64_t* last_ets_reclaimed) {
   size_t n = 0;
-  while (!queue_.empty()) {
-    UndoRecord* rec = queue_.front();
-    if (!eligible(*rec)) break;
-    if (on_reclaim) on_reclaim(*rec);
-    if (last_ets_reclaimed != nullptr) {
-      *last_ets_reclaimed = rec->ets.load(std::memory_order_relaxed);
+  for (;;) {
+    UndoRecord* rec = nullptr;
+    {
+      // Peek + eligibility check + pop atomically, so a concurrent
+      // FreeAborted or Alloc cannot swap the front under us. `eligible`
+      // only reads record timestamps, so holding mu_ across it is safe.
+      std::lock_guard<std::mutex> lk(mu_);
+      if (queue_.empty() || !eligible(*queue_.front())) break;
+      rec = queue_.front();
+      queue_.pop_front();
+      if (last_ets_reclaimed != nullptr) {
+        *last_ets_reclaimed = rec->ets.load(std::memory_order_relaxed);
+      }
     }
-    queue_.pop_front();
-    Recycle(rec);
+    // The record is off the queue and not yet on a free list: exclusively
+    // ours. Run the (potentially latch-taking) purge callback unlocked.
+    if (on_reclaim) on_reclaim(*rec);
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      RecycleLocked(rec);
+    }
     ++n;
   }
   return n;

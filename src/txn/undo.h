@@ -6,6 +6,7 @@
 #include <cstring>
 #include <deque>
 #include <functional>
+#include <mutex>
 #include <vector>
 
 #include "common/constants.h"
@@ -70,9 +71,12 @@ struct UndoRecord {
 };
 
 /// Per-task-slot UNDO arena: size-class pooled allocation with queue-order
-/// reclamation. All mutation (alloc, reclaim, commit-scan) happens on the
-/// slot's owning worker thread; readers on other threads only dereference
-/// record fields under the stamp protocol.
+/// reclamation. Alloc/FreeAborted run on the slot's owning worker thread;
+/// ReclaimWhile may additionally run from a GC thread — an internal mutex
+/// protects the queue and free lists across the two (it is never held
+/// while the reclaim callback runs, so the callback may take page
+/// latches). Readers on other threads only dereference record fields
+/// under the stamp protocol.
 class UndoArena {
  public:
   UndoArena() = default;
@@ -99,20 +103,26 @@ class UndoArena {
   size_t live_count() const {
     return live_records_.load(std::memory_order_relaxed);
   }
-  size_t pooled_bytes() const { return pooled_bytes_; }
+  size_t pooled_bytes() const {
+    return pooled_bytes_.load(std::memory_order_relaxed);
+  }
 
  private:
   static constexpr uint32_t kClassSizes[4] = {128, 512, 2048, 8192};
 
   static int SizeClass(size_t n);
   UndoRecord* AllocRaw(size_t delta_size);
-  void Recycle(UndoRecord* rec);
+  /// Requires `mu_`.
+  void RecycleLocked(UndoRecord* rec);
 
+  /// Guards queue_, free_lists_, and all_ (owner-thread allocation vs
+  /// GC-thread reclamation). Never held across reclaim callbacks.
+  std::mutex mu_;
   std::deque<UndoRecord*> queue_;  // allocation order (front = oldest)
   std::vector<UndoRecord*> free_lists_[4];
   std::vector<UndoRecord*> all_;  // for destruction
   std::atomic<size_t> live_records_{0};
-  size_t pooled_bytes_ = 0;
+  std::atomic<size_t> pooled_bytes_{0};
 };
 
 }  // namespace phoebe

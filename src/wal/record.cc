@@ -9,17 +9,23 @@ namespace phoebe {
 
 void WalRecordCodec::Encode(WalRecordType type, uint64_t lsn, uint64_t gsn,
                             Xid xid, Slice payload, std::string* out) {
-  std::string body;
-  body.reserve(25 + payload.size());
-  body.push_back(static_cast<char>(type));
-  PutFixed64(&body, lsn);
-  PutFixed64(&body, gsn);
-  PutFixed64(&body, xid);
-  body.append(payload.data(), payload.size());
+  size_t old = out->size();
+  out->resize(old + EncodedSize(payload.size()));
+  EncodeTo(type, lsn, gsn, xid, payload, &(*out)[old]);
+}
 
-  PutFixed32(out, static_cast<uint32_t>(body.size()));
-  PutFixed32(out, MaskCrc(Crc32c(body.data(), body.size())));
-  out->append(body);
+size_t WalRecordCodec::EncodeTo(WalRecordType type, uint64_t lsn, uint64_t gsn,
+                                Xid xid, Slice payload, char* dst) {
+  char* body = dst + kFrameHeader;
+  body[0] = static_cast<char>(type);
+  EncodeFixed64(body + 1, lsn);
+  EncodeFixed64(body + 9, gsn);
+  EncodeFixed64(body + 17, xid);
+  memcpy(body + kBodyPrefix, payload.data(), payload.size());
+  size_t body_len = kBodyPrefix + payload.size();
+  EncodeFixed32(dst, static_cast<uint32_t>(body_len));
+  EncodeFixed32(dst + 4, MaskCrc(Crc32c(body, body_len)));
+  return kFrameHeader + body_len;
 }
 
 Status WalRecordCodec::DecodeNext(Slice* input, uint32_t writer_id,

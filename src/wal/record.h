@@ -41,9 +41,23 @@ class WalRecordCodec {
  public:
   static constexpr size_t kFrameHeader = 8;
 
+  /// Fixed body prefix: [u8 type][u64 lsn][u64 gsn][u64 xid].
+  static constexpr size_t kBodyPrefix = 25;
+
   /// Appends an encoded frame to `out`.
   static void Encode(WalRecordType type, uint64_t lsn, uint64_t gsn, Xid xid,
                      Slice payload, std::string* out);
+
+  /// Exact on-disk size of a frame carrying `payload_size` payload bytes.
+  static constexpr size_t EncodedSize(size_t payload_size) {
+    return kFrameHeader + kBodyPrefix + payload_size;
+  }
+
+  /// Encodes a frame into `dst`, which must hold EncodedSize(payload.size())
+  /// bytes. Used by the reservation-based WAL append path to encode outside
+  /// the writer's critical section. Returns the number of bytes written.
+  static size_t EncodeTo(WalRecordType type, uint64_t lsn, uint64_t gsn,
+                         Xid xid, Slice payload, char* dst);
 
   /// Parses one frame at the front of `input`; advances it. kNotFound on a
   /// clean end, kCorruption on a torn/garbage frame.

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/latch.h"
 #include "common/profiler.h"
 #include "io/io_stats.h"
 
@@ -12,64 +13,246 @@ namespace phoebe {
 // ---------------------------------------------------------------------------
 
 WalWriter::WalWriter(uint32_t id, std::unique_ptr<File> file,
-                     const std::atomic<bool>* sync_on_flush)
-    : id_(id), file_(std::move(file)), sync_on_flush_(sync_on_flush) {}
+                     const std::atomic<bool>* sync_on_flush,
+                     size_t buffer_bytes)
+    : id_(id), file_(std::move(file)), sync_on_flush_(sync_on_flush) {
+  size_t cap = std::max<size_t>(buffer_bytes, 4 << 10);
+  for (auto& b : bufs_) {
+    b.data.reset(new char[cap]);
+    b.capacity = cap;
+  }
+  active_ = &bufs_[0];
+}
 
-uint64_t WalWriter::Append(WalRecordType type, Xid xid, uint64_t gsn,
-                           Slice payload) {
-  std::lock_guard<std::mutex> lk(mu_);
+uint64_t WalWriter::ReserveMetadata(LogBuffer* b, WalRecordType type,
+                                    uint64_t gsn, size_t len) {
   uint64_t lsn = next_lsn_++;
-  if (buf_.empty()) {
+  b->reserved += len;
+  b->last_lsn = lsn;
+  ++b->records;
+  if (b->min_gsn == 0 || gsn < b->min_gsn) b->min_gsn = gsn;
+  b->max_gsn = std::max(b->max_gsn, gsn);
+  uint64_t fp = first_pending_gsn_.load(std::memory_order_relaxed);
+  if (fp == 0 || gsn < fp) {
     first_pending_gsn_.store(gsn, std::memory_order_release);
   }
-  WalRecordCodec::Encode(type, lsn, gsn, xid, payload, &buf_);
-  buffered_gsn_ = std::max(buffered_gsn_, gsn);
-  appended_gsn_.store(std::max(appended_gsn_.load(std::memory_order_relaxed),
-                               gsn),
-                      std::memory_order_release);
+  appended_gsn_.store(
+      std::max(appended_gsn_.load(std::memory_order_relaxed), gsn),
+      std::memory_order_release);
   appended_lsn_.store(lsn, std::memory_order_release);
   if (type == WalRecordType::kCommit) {
+    b->has_commit = true;
     commit_pending_.store(true, std::memory_order_release);
   }
   return lsn;
 }
 
+uint64_t WalWriter::Append(WalRecordType type, Xid xid, uint64_t gsn,
+                           Slice payload) {
+  const size_t len = WalRecordCodec::EncodedSize(payload.size());
+  if (mgr_ != nullptr) {
+    mgr_->pstats_.appends.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (len > bufs_[0].capacity) {
+    return AppendOversize(type, xid, gsn, payload, len);
+  }
+  LogBuffer* b = nullptr;
+  char* dst = nullptr;
+  uint64_t lsn = 0;
+  for (;;) {
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      if (active_->reserved + len <= active_->capacity) {
+        b = active_;
+        dst = b->data.get() + b->reserved;
+        lsn = ReserveMetadata(b, type, gsn, len);
+        break;
+      }
+    }
+    // Active buffer full: seal and drain it ourselves. If a flusher is
+    // mid-drain of the shadow we block behind it on flush_mu_, after which
+    // the swap frees the whole active buffer.
+    if (mgr_ != nullptr) {
+      mgr_->pstats_.inline_flushes.fetch_add(1, std::memory_order_relaxed);
+    }
+    (void)Flush();
+  }
+  // Encode outside the critical section; publish completion so the flusher
+  // can seal past this reservation.
+  WalRecordCodec::EncodeTo(type, lsn, gsn, xid, payload, dst);
+  b->filled.fetch_add(len, std::memory_order_release);
+  if (type == WalRecordType::kCommit && mgr_ != nullptr) {
+    mgr_->KickFlusher();
+  }
+  return lsn;
+}
+
+uint64_t WalWriter::AppendOversize(WalRecordType type, Xid xid, uint64_t gsn,
+                                   Slice payload, size_t len) {
+  if (mgr_ != nullptr) {
+    mgr_->pstats_.oversize_appends.fetch_add(1, std::memory_order_relaxed);
+  }
+  std::lock_guard<std::mutex> flush_lk(flush_mu_);
+  std::unique_lock<std::mutex> lk(mu_);
+  // Drain the active buffer in place so file bytes stay in LSN order (the
+  // shadow is already empty: flush_mu_ holders always drain before release).
+  AwaitEncoded(active_);
+  size_t wrote = 0;
+  uint64_t flushed_records = 0;
+  Status st = Status::OK();
+  if (!active_->empty()) {
+    st = file_->Append(Slice(active_->data.get(), active_->reserved));
+    if (st.ok()) {
+      wrote += active_->reserved;
+      flushed_records += active_->records;
+      flushed_lsn_.store(active_->last_lsn, std::memory_order_release);
+      flushed_gsn_.store(
+          std::max(flushed_gsn_.load(std::memory_order_relaxed),
+                   active_->max_gsn),
+          std::memory_order_release);
+      active_->Reset();
+    }
+  }
+  uint64_t lsn = ReserveMetadata(active_, type, gsn, len);
+  active_->Reset();  // the record bypasses the buffer entirely
+  if (st.ok()) {
+    std::string tmp;
+    tmp.reserve(len);
+    WalRecordCodec::Encode(type, lsn, gsn, xid, payload, &tmp);
+    st = file_->Append(tmp);
+    if (st.ok() && sync_on_flush_->load(std::memory_order_relaxed)) {
+      st = file_->Sync();
+    }
+    if (st.ok()) {
+      wrote += tmp.size();
+      ++flushed_records;
+      flushed_lsn_.store(lsn, std::memory_order_release);
+      flushed_gsn_.store(
+          std::max(flushed_gsn_.load(std::memory_order_relaxed), gsn),
+          std::memory_order_release);
+      first_pending_gsn_.store(0, std::memory_order_release);
+      commit_pending_.store(false, std::memory_order_release);
+    }
+  }
+  if (wrote > 0) {
+    auto& stats = IoStats::Global();
+    stats.wal_bytes_written.fetch_add(wrote, std::memory_order_relaxed);
+    stats.wal_flushes.fetch_add(1, std::memory_order_relaxed);
+    if (mgr_ != nullptr) {
+      mgr_->AddBytesFlushed(wrote);
+      mgr_->pstats_.records_flushed.fetch_add(flushed_records,
+                                              std::memory_order_relaxed);
+    }
+  }
+  lk.unlock();
+  WakeDurableWaiters();
+  if (mgr_ != nullptr) mgr_->WakeRemoteWaiters();
+  return lsn;
+}
+
+void WalWriter::AwaitEncoded(const LogBuffer* b) {
+  // Reservations of a sealed buffer are already published (the sealer held
+  // mu_ after the last reservation); wait for their encoders to finish.
+  while (b->filled.load(std::memory_order_acquire) != b->reserved) {
+    CpuRelax();
+  }
+}
+
 Result<size_t> WalWriter::Flush() {
   std::lock_guard<std::mutex> flush_lk(flush_mu_);
-  std::string out;
-  uint64_t lsn, gsn;
+  return FlushLocked();
+}
+
+Result<size_t> WalWriter::FlushLocked() {
+  LogBuffer* sealed = nullptr;
   {
     std::lock_guard<std::mutex> lk(mu_);
-    if (buf_.empty()) return Result<size_t>(static_cast<size_t>(0));
-    out.swap(buf_);
-    lsn = next_lsn_ - 1;
-    gsn = buffered_gsn_;
-    first_pending_gsn_.store(0, std::memory_order_release);
-    commit_pending_.store(false, std::memory_order_release);
+    if (active_->empty()) return Result<size_t>(static_cast<size_t>(0));
+    sealed = active_;
+    // The shadow is drained (every flush_mu_ holder drains before
+    // releasing), so appends proceed into it while we write `sealed`.
+    active_ = (active_ == &bufs_[0]) ? &bufs_[1] : &bufs_[0];
   }
-  Status st = file_->Append(out);
+  AwaitEncoded(sealed);
+  Status st = file_->Append(Slice(sealed->data.get(), sealed->reserved));
   if (!st.ok()) return Result<size_t>(st);
   if (sync_on_flush_->load(std::memory_order_relaxed)) {
     st = file_->Sync();
     if (!st.ok()) return Result<size_t>(st);
   }
+  size_t bytes = sealed->reserved;
   auto& stats = IoStats::Global();
-  stats.wal_bytes_written.fetch_add(out.size(), std::memory_order_relaxed);
+  stats.wal_bytes_written.fetch_add(bytes, std::memory_order_relaxed);
   stats.wal_flushes.fetch_add(1, std::memory_order_relaxed);
-  flushed_lsn_.store(lsn, std::memory_order_release);
-  flushed_gsn_.store(gsn, std::memory_order_release);
-  return Result<size_t>(out.size());
+  if (mgr_ != nullptr) {
+    mgr_->pstats_.records_flushed.fetch_add(sealed->records,
+                                            std::memory_order_relaxed);
+  }
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    flushed_lsn_.store(sealed->last_lsn, std::memory_order_release);
+    flushed_gsn_.store(std::max(flushed_gsn_.load(std::memory_order_relaxed),
+                                sealed->max_gsn),
+                       std::memory_order_release);
+    sealed->Reset();
+    // Pending metadata now reflects only the (new) active buffer.
+    first_pending_gsn_.store(active_->min_gsn, std::memory_order_release);
+    commit_pending_.store(active_->has_commit, std::memory_order_release);
+  }
+  if (mgr_ != nullptr) mgr_->AddBytesFlushed(bytes);
+  WakeDurableWaiters();
+  if (mgr_ != nullptr) mgr_->WakeRemoteWaiters();
+  return Result<size_t>(bytes);
+}
+
+void WalWriter::WaitDurable(uint64_t lsn) {
+  if (flushed_lsn() >= lsn) return;
+  DurableWaiter node;
+  node.lsn = lsn;
+  std::unique_lock<std::mutex> lk(wait_mu_);
+  // Re-check after locking: WakeDurableWaiters publishes flushed_lsn before
+  // taking wait_mu_, so a flush completing before this point is visible.
+  if (flushed_lsn() >= lsn) return;
+  wait_list_.push_back(&node);
+  node.cv.wait(lk, [&] { return node.ready; });
+}
+
+void WalWriter::WakeDurableWaiters() {
+  std::lock_guard<std::mutex> lk(wait_mu_);
+  if (wait_list_.empty()) return;
+  uint64_t durable = flushed_lsn();
+  auto keep = wait_list_.begin();
+  for (auto* w : wait_list_) {
+    if (w->lsn <= durable) {
+      w->ready = true;
+      w->cv.notify_one();
+    } else {
+      *keep++ = w;
+    }
+  }
+  wait_list_.erase(keep, wait_list_.end());
 }
 
 Status WalWriter::TruncateAndReset() {
-  std::lock_guard<std::mutex> lk(mu_);
-  buf_.clear();
-  PHOEBE_RETURN_IF_ERROR(file_->Truncate(0));
-  PHOEBE_RETURN_IF_ERROR(file_->Sync());
-  flushed_lsn_.store(appended_lsn_.load(std::memory_order_relaxed),
-                     std::memory_order_release);
-  flushed_gsn_.store(appended_gsn_.load(std::memory_order_relaxed),
-                     std::memory_order_release);
+  // Take both locks so an in-flight Flush (buffer sealed, bytes not yet
+  // appended) can never interleave with the truncate.
+  std::lock_guard<std::mutex> flush_lk(flush_mu_);
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    AwaitEncoded(active_);
+    bufs_[0].Reset();
+    bufs_[1].Reset();
+    PHOEBE_RETURN_IF_ERROR(file_->Truncate(0));
+    PHOEBE_RETURN_IF_ERROR(file_->Sync());
+    flushed_lsn_.store(appended_lsn_.load(std::memory_order_relaxed),
+                       std::memory_order_release);
+    flushed_gsn_.store(appended_gsn_.load(std::memory_order_relaxed),
+                       std::memory_order_release);
+    first_pending_gsn_.store(0, std::memory_order_release);
+    commit_pending_.store(false, std::memory_order_release);
+  }
+  WakeDurableWaiters();
+  if (mgr_ != nullptr) mgr_->WakeRemoteWaiters();
   return Status::OK();
 }
 
@@ -88,8 +271,11 @@ Result<std::unique_ptr<WalManager>> WalManager::Open(Env* env,
     Status st = env->OpenFile(
         options.dir + "/wal_" + std::to_string(i) + ".log", fo, &file);
     if (!st.ok()) return Result<std::unique_ptr<WalManager>>(st);
-    mgr->writers_.push_back(std::make_unique<WalWriter>(
-        i, std::move(file), &mgr->sync_enabled_));
+    auto writer = std::make_unique<WalWriter>(
+        i, std::move(file), &mgr->sync_enabled_,
+        options.writer_buffer_bytes);
+    writer->set_manager(mgr.get());
+    mgr->writers_.push_back(std::move(writer));
   }
   uint32_t nf = std::max<uint32_t>(1, options.flusher_threads);
   for (uint32_t i = 0; i < nf; ++i) {
@@ -100,6 +286,10 @@ Result<std::unique_ptr<WalManager>> WalManager::Open(Env* env,
 
 WalManager::~WalManager() {
   stop_.store(true, std::memory_order_release);
+  {
+    std::lock_guard<std::mutex> lk(flusher_mu_);
+  }
+  flusher_cv_.notify_all();
   for (auto& t : flushers_) t.join();
   // Final drain so shutdown never loses buffered records.
   for (auto& w : writers_) {
@@ -107,12 +297,19 @@ WalManager::~WalManager() {
   }
 }
 
+void WalManager::KickFlusher() {
+  pstats_.commit_kicks.fetch_add(1, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lk(flusher_mu_);
+    kicks_.fetch_add(1, std::memory_order_relaxed);
+  }
+  flusher_cv_.notify_all();
+}
+
 void WalManager::FlusherMain(uint32_t flusher_id) {
-  const uint32_t nf = std::max<uint32_t>(
-      1, static_cast<uint32_t>(flushers_.capacity()));
-  (void)nf;
   const uint32_t num_flushers =
       std::max<uint32_t>(1, options_.flusher_threads);
+  uint64_t seen_kicks = 0;
   while (!stop_.load(std::memory_order_acquire)) {
     size_t wrote = 0;
     // Commit-priority pass: writers with buffered commit records first, so
@@ -129,12 +326,15 @@ void WalManager::FlusherMain(uint32_t flusher_id) {
       Result<size_t> r = writers_[i]->Flush();
       if (r.ok()) wrote += r.value();
     }
-    if (wrote > 0) {
-      bytes_flushed_.fetch_add(wrote, std::memory_order_relaxed);
-      commit_cv_.notify_all();
-    } else {
-      std::this_thread::sleep_for(
-          std::chrono::microseconds(options_.flush_interval_us));
+    if (wrote == 0) {
+      // Sleep until the flush interval elapses or a commit append kicks us.
+      std::unique_lock<std::mutex> lk(flusher_mu_);
+      flusher_cv_.wait_for(
+          lk, std::chrono::microseconds(options_.flush_interval_us), [&] {
+            return stop_.load(std::memory_order_acquire) ||
+                   kicks_.load(std::memory_order_relaxed) != seen_kicks;
+          });
+      seen_kicks = kicks_.load(std::memory_order_relaxed);
     }
   }
 }
@@ -214,12 +414,34 @@ bool WalManager::CommitDurable(const Transaction* txn) const {
 
 void WalManager::WaitCommitDurable(const Transaction* txn) {
   if (CommitDurable(txn)) return;
-  std::unique_lock<std::mutex> lk(commit_mu_);
-  commit_cv_.wait_for(lk, std::chrono::milliseconds(100),
-                      [&] { return CommitDurable(txn); });
-  while (!CommitDurable(txn)) {
-    commit_cv_.wait_for(lk, std::chrono::milliseconds(10));
+  if (!txn->remote_dependency) {
+    // RFA fast path: only this slot's writer matters; park on its wait list.
+    WriterFor(txn->slot_id()).WaitDurable(txn->last_lsn);
+    return;
   }
+  RemoteWaiter node;
+  node.txn = txn;
+  std::unique_lock<std::mutex> lk(remote_mu_);
+  // Re-check under the lock: flushes publish durability before taking
+  // remote_mu_ in WakeRemoteWaiters, so no wakeup can be lost.
+  if (CommitDurable(txn)) return;
+  remote_waiters_.push_back(&node);
+  node.cv.wait(lk, [&] { return node.ready; });
+}
+
+void WalManager::WakeRemoteWaiters() {
+  std::lock_guard<std::mutex> lk(remote_mu_);
+  if (remote_waiters_.empty()) return;
+  auto keep = remote_waiters_.begin();
+  for (auto* w : remote_waiters_) {
+    if (CommitDurable(w->txn)) {
+      w->ready = true;
+      w->cv.notify_one();
+    } else {
+      *keep++ = w;
+    }
+  }
+  remote_waiters_.erase(keep, remote_waiters_.end());
 }
 
 Status WalManager::TruncateAll() {

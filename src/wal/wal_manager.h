@@ -18,21 +18,34 @@
 
 namespace phoebe {
 
+class WalManager;
+
 /// One WAL writer per task slot (Section 8): transactions of a slot append
 /// to a private in-memory buffer with a strictly increasing local LSN; group
-/// flusher threads drain the buffers to per-slot files. Append is called
-/// only by the slot's owning worker; the flusher synchronizes via `mu_`.
+/// flusher threads drain the buffers to per-slot files.
+///
+/// The writer is a double-buffered, reservation-based pipeline: Append takes
+/// `mu_` only long enough to reserve space in the active buffer and assign
+/// the LSN, then encodes into the reservation outside the lock. Flush seals
+/// the active buffer (swapping in the drained shadow), waits for in-flight
+/// reservations to finish encoding, and drains the sealed buffer to disk —
+/// so an fdatasync in progress never blocks that slot's appends.
 class WalWriter {
  public:
   WalWriter(uint32_t id, std::unique_ptr<File> file,
-            const std::atomic<bool>* sync_on_flush);
+            const std::atomic<bool>* sync_on_flush, size_t buffer_bytes);
 
   /// Appends a record, returning its LSN.
   uint64_t Append(WalRecordType type, Xid xid, uint64_t gsn, Slice payload);
 
-  /// Drains the buffer to disk (called by a flusher thread). Returns bytes
+  /// Seals and drains the pipeline to disk (called by a flusher thread, or
+  /// inline by an appender that found the active buffer full). Returns bytes
   /// written.
   Result<size_t> Flush();
+
+  /// Blocks until flushed_lsn() >= lsn using the per-writer commit wait
+  /// list: a durable flush wakes exactly the waiters whose LSN it covers.
+  void WaitDurable(uint64_t lsn);
 
   uint64_t flushed_lsn() const {
     return flushed_lsn_.load(std::memory_order_acquire);
@@ -49,15 +62,15 @@ class WalWriter {
   bool HasPending() const {
     return appended_lsn() > flushed_lsn();
   }
-  /// True while an un-flushed commit record sits in the buffer; flushers
+  /// True while an un-flushed commit record sits in the pipeline; flushers
   /// prioritize these writers so commit latency tracks one flush, not a
   /// whole round over all writers.
   bool HasPendingCommit() const {
     return commit_pending_.load(std::memory_order_acquire);
   }
-  /// Smallest GSN among buffered records (0 when the buffer is empty). Lets
-  /// the RFA global wait skip writers whose pending records are all above
-  /// the awaited GSN.
+  /// Smallest GSN among buffered records (0 when the pipeline is empty).
+  /// Lets the RFA global wait skip writers whose pending records are all
+  /// above the awaited GSN.
   uint64_t FirstPendingGsn() const {
     return first_pending_gsn_.load(std::memory_order_acquire);
   }
@@ -78,18 +91,76 @@ class WalWriter {
 
   Status TruncateAndReset();
 
+  /// Wires the owning manager so inline flushes can wake remote-dependency
+  /// waiters and kick the flusher on buffered commits.
+  void set_manager(WalManager* mgr) { mgr_ = mgr; }
+
  private:
+  friend class WalManager;
+
+  /// A half of the double buffer. `reserved`/metadata are guarded by the
+  /// writer's `mu_`; `filled` is advanced by appenders after they finish
+  /// encoding outside the lock, and the flusher spins filled == reserved
+  /// before touching the bytes.
+  struct LogBuffer {
+    std::unique_ptr<char[]> data;
+    size_t capacity = 0;
+    size_t reserved = 0;
+    std::atomic<size_t> filled{0};
+    uint64_t last_lsn = 0;
+    uint64_t min_gsn = 0;  // 0 = empty
+    uint64_t max_gsn = 0;
+    uint32_t records = 0;
+    bool has_commit = false;
+
+    bool empty() const { return reserved == 0; }
+    void Reset() {
+      reserved = 0;
+      filled.store(0, std::memory_order_relaxed);
+      last_lsn = 0;
+      min_gsn = 0;
+      max_gsn = 0;
+      records = 0;
+      has_commit = false;
+    }
+  };
+
+  /// Per-writer commit wait list entry (stack-allocated by WaitDurable).
+  struct DurableWaiter {
+    uint64_t lsn;
+    bool ready = false;
+    std::condition_variable cv;
+  };
+
+  /// Flush with `flush_mu_` already held.
+  Result<size_t> FlushLocked();
+  /// Slow path for records larger than the buffer capacity: drain the
+  /// pipeline, then write the record directly.
+  uint64_t AppendOversize(WalRecordType type, Xid xid, uint64_t gsn,
+                          Slice payload, size_t len);
+  /// Record reservation-side metadata for a record entering buffer `b`.
+  /// Requires `mu_`.
+  uint64_t ReserveMetadata(LogBuffer* b, WalRecordType type, uint64_t gsn,
+                           size_t len);
+  /// Wakes wait-list entries covered by the current flushed LSN.
+  void WakeDurableWaiters();
+  /// Spins until every in-flight reservation of `b` finished encoding.
+  static void AwaitEncoded(const LogBuffer* b);
+
   uint32_t id_;
   std::unique_ptr<File> file_;
   const std::atomic<bool>* sync_on_flush_;
+  WalManager* mgr_ = nullptr;
 
+  /// Guards reservations, the active-buffer pointer, and LSN assignment.
   std::mutex mu_;
   /// Serializes whole Flush() calls so file bytes and flushed_lsn stay in
   /// LSN order when a commit-priority flush races the round-robin flusher.
+  /// Lock order: flush_mu_ before mu_.
   std::mutex flush_mu_;
-  std::string buf_;
+  LogBuffer bufs_[2];
+  LogBuffer* active_;  // guarded by mu_
   uint64_t next_lsn_ = 1;
-  uint64_t buffered_gsn_ = 0;
 
   std::atomic<uint64_t> appended_lsn_{0};
   std::atomic<uint64_t> appended_gsn_{0};
@@ -97,6 +168,9 @@ class WalWriter {
   std::atomic<uint64_t> flushed_gsn_{0};
   std::atomic<uint64_t> first_pending_gsn_{0};
   std::atomic<bool> commit_pending_{false};
+
+  std::mutex wait_mu_;
+  std::vector<DurableWaiter*> wait_list_;
 };
 
 /// Parallel WAL with Remote Flush Avoidance (Section 8).
@@ -116,6 +190,17 @@ class WalManager {
     bool sync_on_flush = true;
     bool enable_rfa = true;     // ablation switch for Exp 3
     uint32_t flush_interval_us = 100;
+    /// Per-writer log buffer capacity (×2 buffers per writer).
+    size_t writer_buffer_bytes = 64 << 10;
+  };
+
+  /// Pipeline counters, reported by micro_wal / exp3.
+  struct PipelineStats {
+    std::atomic<uint64_t> appends{0};
+    std::atomic<uint64_t> records_flushed{0};
+    std::atomic<uint64_t> inline_flushes{0};   // appender hit a full buffer
+    std::atomic<uint64_t> oversize_appends{0};
+    std::atomic<uint64_t> commit_kicks{0};     // flusher wakeups for commits
   };
 
   static Result<std::unique_ptr<WalManager>> Open(Env* env,
@@ -157,7 +242,10 @@ class WalManager {
   /// flushed GSN when a remote dependency exists.
   bool CommitDurable(const Transaction* txn) const;
 
-  /// Blocks until CommitDurable (synchronous mode).
+  /// Blocks until CommitDurable (synchronous mode). Local-only commits park
+  /// on their writer's wait list; remote-dependency commits park on the
+  /// manager-level (LSN, GSN) wait list and are woken by whichever flush
+  /// satisfies the global-GSN condition.
   void WaitCommitDurable(const Transaction* txn);
 
   /// Minimum durable GSN across writers with pending data (writers that are
@@ -171,6 +259,8 @@ class WalManager {
   uint64_t TotalBytesFlushed() const {
     return bytes_flushed_.load(std::memory_order_relaxed);
   }
+  PipelineStats& pipeline_stats() { return pstats_; }
+  const PipelineStats& pipeline_stats() const { return pstats_; }
 
   /// Toggles fdatasync on WAL flush (loaders disable during population).
   void set_sync_on_flush(bool on) {
@@ -178,9 +268,26 @@ class WalManager {
   }
 
  private:
+  friend class WalWriter;
+
   explicit WalManager(const Options& options) : options_(options) {}
 
   void FlusherMain(uint32_t flusher_id);
+  void AddBytesFlushed(uint64_t n) {
+    bytes_flushed_.fetch_add(n, std::memory_order_relaxed);
+  }
+  /// Wakes remote-dependency waiters whose commit became durable; called by
+  /// writers after every successful flush.
+  void WakeRemoteWaiters();
+  /// Nudges a sleeping flusher (a commit record was just buffered).
+  void KickFlusher();
+
+  /// Manager-level wait list entry for remote-dependency commits.
+  struct RemoteWaiter {
+    const Transaction* txn;
+    bool ready = false;
+    std::condition_variable cv;
+  };
 
   Options options_;
   std::atomic<bool> sync_enabled_{true};
@@ -188,9 +295,14 @@ class WalManager {
   std::vector<std::thread> flushers_;
   std::atomic<bool> stop_{false};
   std::atomic<uint64_t> bytes_flushed_{0};
+  PipelineStats pstats_;
 
-  mutable std::mutex commit_mu_;
-  mutable std::condition_variable commit_cv_;
+  std::mutex flusher_mu_;
+  std::condition_variable flusher_cv_;
+  std::atomic<uint64_t> kicks_{0};
+
+  mutable std::mutex remote_mu_;
+  std::vector<RemoteWaiter*> remote_waiters_;
 };
 
 }  // namespace phoebe

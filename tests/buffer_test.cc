@@ -122,6 +122,37 @@ TEST_F(BufferPoolTest, WriteBackAndReload) {
   pool_->FreeFrame(bf2);
 }
 
+TEST_F(BufferPoolTest, BatchedWriteBackStampsCrcAndReloads) {
+  Open(4ull << 20);
+  constexpr size_t kN = 6;
+  BufferFrame* frames[kN];
+  for (size_t i = 0; i < kN; ++i) {
+    frames[i] = pool_->AllocateFrame(0);
+    ASSERT_NE(frames[i], nullptr);
+    memset(frames[i]->page, static_cast<int>(0x10 + i), kPageSize);
+    frames[i]->dirty.store(true);
+  }
+  // One async batch: page ids are allocated, CRCs stamped on the I/O
+  // threads, dirty bits cleared per frame.
+  Status statuses[kN];
+  ASSERT_OK(pool_->WriteBackBatch(frames, kN, statuses));
+  PageId pids[kN];
+  for (size_t i = 0; i < kN; ++i) {
+    ASSERT_OK(statuses[i]);
+    EXPECT_FALSE(frames[i]->dirty.load());
+    pids[i] = frames[i]->page_id;
+    ASSERT_NE(pids[i], kInvalidPageId);
+    pool_->FreeFrame(frames[i]);
+  }
+  // Every page reloads with a valid CRC and the right bytes.
+  for (size_t i = 0; i < kN; ++i) {
+    BufferFrame* bf = pool_->AllocateFrame(0);
+    ASSERT_OK(pool_->LoadPageSync(pids[i], bf));
+    EXPECT_EQ(static_cast<uint8_t>(bf->page[1234]), 0x10 + i);
+    pool_->FreeFrame(bf);
+  }
+}
+
 TEST_F(BufferPoolTest, CoolingFifo) {
   Open(4ull << 20);
   BufferFrame* a = pool_->AllocateFrame(0);
