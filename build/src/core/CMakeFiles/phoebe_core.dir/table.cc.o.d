@@ -319,10 +319,12 @@ src/core/CMakeFiles/phoebe_core.dir/table.cc.o: \
  /usr/lib/gcc/x86_64-linux-gnu/12/include/keylockerintrin.h \
  /root/repo/src/buffer/swip.h /root/repo/src/io/async_io.h \
  /usr/include/c++/12/thread /root/repo/src/io/page_file.h \
- /root/repo/src/io/env.h /root/repo/src/io/io_stats.h \
- /root/repo/src/io/throttle.h /root/repo/src/common/clock.h \
- /usr/include/c++/12/chrono /usr/include/c++/12/sstream \
- /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
+ /usr/include/c++/12/unordered_set \
+ /usr/include/c++/12/bits/unordered_set.h /root/repo/src/io/env.h \
+ /root/repo/src/io/io_stats.h /root/repo/src/io/throttle.h \
+ /root/repo/src/common/clock.h /usr/include/c++/12/chrono \
+ /usr/include/c++/12/sstream /usr/include/c++/12/istream \
+ /usr/include/c++/12/bits/istream.tcc \
  /usr/include/c++/12/bits/sstream.tcc \
  /usr/lib/gcc/x86_64-linux-gnu/12/include/x86intrin.h \
  /usr/lib/gcc/x86_64-linux-gnu/12/include/mm3dnow.h \
@@ -337,8 +339,6 @@ src/core/CMakeFiles/phoebe_core.dir/table.cc.o: \
  /usr/include/c++/12/map /usr/include/c++/12/bits/stl_tree.h \
  /usr/include/c++/12/bits/stl_map.h \
  /usr/include/c++/12/bits/stl_multimap.h \
- /usr/include/c++/12/unordered_set \
- /usr/include/c++/12/bits/unordered_set.h \
  /root/repo/src/storage/frozen_block.h /root/repo/src/txn/txn_manager.h \
  /root/repo/src/txn/clock.h /root/repo/src/txn/twin_table.h \
  /root/repo/src/wal/wal_manager.h /root/repo/src/wal/record.h \

@@ -10,6 +10,7 @@ set(CMAKE_DEPENDS_LANGUAGES
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/io/async_io.cc" "src/io/CMakeFiles/phoebe_io.dir/async_io.cc.o" "gcc" "src/io/CMakeFiles/phoebe_io.dir/async_io.cc.o.d"
   "/root/repo/src/io/env.cc" "src/io/CMakeFiles/phoebe_io.dir/env.cc.o" "gcc" "src/io/CMakeFiles/phoebe_io.dir/env.cc.o.d"
+  "/root/repo/src/io/fault_env.cc" "src/io/CMakeFiles/phoebe_io.dir/fault_env.cc.o" "gcc" "src/io/CMakeFiles/phoebe_io.dir/fault_env.cc.o.d"
   "/root/repo/src/io/page_file.cc" "src/io/CMakeFiles/phoebe_io.dir/page_file.cc.o" "gcc" "src/io/CMakeFiles/phoebe_io.dir/page_file.cc.o.d"
   )
 

@@ -3,6 +3,8 @@ file(REMOVE_RECURSE
   "CMakeFiles/phoebe_io.dir/async_io.cc.o.d"
   "CMakeFiles/phoebe_io.dir/env.cc.o"
   "CMakeFiles/phoebe_io.dir/env.cc.o.d"
+  "CMakeFiles/phoebe_io.dir/fault_env.cc.o"
+  "CMakeFiles/phoebe_io.dir/fault_env.cc.o.d"
   "CMakeFiles/phoebe_io.dir/page_file.cc.o"
   "CMakeFiles/phoebe_io.dir/page_file.cc.o.d"
   "libphoebe_io.a"

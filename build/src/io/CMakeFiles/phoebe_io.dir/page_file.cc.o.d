@@ -197,7 +197,13 @@ src/io/CMakeFiles/phoebe_io.dir/page_file.cc.o: \
  /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
  /usr/include/c++/12/limits /usr/include/c++/12/ctime \
  /usr/include/c++/12/bits/parse_numbers.h \
- /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/vector \
+ /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/unordered_set \
+ /usr/include/c++/12/bits/hashtable.h \
+ /usr/include/c++/12/bits/hashtable_policy.h \
+ /usr/include/c++/12/bits/enable_special_members.h \
+ /usr/include/c++/12/bits/node_handle.h \
+ /usr/include/c++/12/bits/unordered_set.h \
+ /usr/include/c++/12/bits/erase_if.h /usr/include/c++/12/vector \
  /usr/include/c++/12/bits/stl_vector.h \
  /usr/include/c++/12/bits/stl_bvector.h \
  /usr/include/c++/12/bits/vector.tcc /root/repo/src/common/constants.h \
@@ -310,4 +316,4 @@ src/io/CMakeFiles/phoebe_io.dir/page_file.cc.o: \
  /usr/lib/gcc/x86_64-linux-gnu/12/include/fma4intrin.h \
  /usr/lib/gcc/x86_64-linux-gnu/12/include/ammintrin.h \
  /usr/lib/gcc/x86_64-linux-gnu/12/include/xopintrin.h \
- /root/repo/src/common/crc32.h
+ /root/repo/src/common/crc32.h /root/repo/src/io/io_retry.h

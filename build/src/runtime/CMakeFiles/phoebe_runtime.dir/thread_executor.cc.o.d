@@ -313,7 +313,8 @@ src/runtime/CMakeFiles/phoebe_runtime.dir/thread_executor.cc.o: \
  /usr/lib/gcc/x86_64-linux-gnu/12/include/prfchwintrin.h \
  /usr/lib/gcc/x86_64-linux-gnu/12/include/keylockerintrin.h \
  /root/repo/src/common/random.h /root/repo/src/io/async_io.h \
- /root/repo/src/io/page_file.h /root/repo/src/io/env.h \
+ /root/repo/src/io/page_file.h /usr/include/c++/12/unordered_set \
+ /usr/include/c++/12/bits/unordered_set.h /root/repo/src/io/env.h \
  /root/repo/src/common/slice.h /usr/include/c++/12/cassert \
  /usr/include/assert.h /usr/include/c++/12/cstring /usr/include/string.h \
  /usr/include/strings.h /root/repo/src/io/io_stats.h \

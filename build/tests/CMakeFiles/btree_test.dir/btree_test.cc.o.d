@@ -315,8 +315,10 @@ tests/CMakeFiles/btree_test.dir/btree_test.cc.o: \
  /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
  /usr/include/x86_64-linux-gnu/bits/semaphore.h \
  /usr/include/c++/12/thread /root/repo/src/io/page_file.h \
- /root/repo/src/io/env.h /root/repo/src/common/slice.h \
- /usr/include/c++/12/cstring /usr/include/string.h /usr/include/strings.h \
+ /usr/include/c++/12/unordered_set \
+ /usr/include/c++/12/bits/unordered_set.h /root/repo/src/io/env.h \
+ /root/repo/src/common/slice.h /usr/include/c++/12/cstring \
+ /usr/include/string.h /usr/include/strings.h \
  /root/repo/src/io/io_stats.h /root/repo/src/io/throttle.h \
  /root/repo/src/common/clock.h /usr/include/c++/12/chrono \
  /usr/include/c++/12/sstream /usr/include/c++/12/istream \

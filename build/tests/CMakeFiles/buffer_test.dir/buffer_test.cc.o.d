@@ -394,10 +394,11 @@ tests/CMakeFiles/buffer_test.dir/buffer_test.cc.o: \
  /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
  /usr/include/x86_64-linux-gnu/bits/semaphore.h \
  /usr/include/c++/12/thread /root/repo/src/io/page_file.h \
- /root/repo/src/io/env.h /root/repo/src/common/slice.h \
- /usr/include/c++/12/cstring /root/repo/src/io/io_stats.h \
- /root/repo/src/io/throttle.h /root/repo/src/common/clock.h \
- /usr/include/c++/12/chrono \
+ /usr/include/c++/12/unordered_set \
+ /usr/include/c++/12/bits/unordered_set.h /root/repo/src/io/env.h \
+ /root/repo/src/common/slice.h /usr/include/c++/12/cstring \
+ /root/repo/src/io/io_stats.h /root/repo/src/io/throttle.h \
+ /root/repo/src/common/clock.h /usr/include/c++/12/chrono \
  /usr/lib/gcc/x86_64-linux-gnu/12/include/x86intrin.h \
  /usr/lib/gcc/x86_64-linux-gnu/12/include/mm3dnow.h \
  /usr/lib/gcc/x86_64-linux-gnu/12/include/fma4intrin.h \

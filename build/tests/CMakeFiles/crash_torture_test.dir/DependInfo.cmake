@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/crash_torture_test.cc" "tests/CMakeFiles/crash_torture_test.dir/crash_torture_test.cc.o" "gcc" "tests/CMakeFiles/crash_torture_test.dir/crash_torture_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tpcc/CMakeFiles/phoebe_tpcc.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/phoebe_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/phoebe_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/phoebe_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/wal/CMakeFiles/phoebe_wal.dir/DependInfo.cmake"
+  "/root/repo/build/src/txn/CMakeFiles/phoebe_txn.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/phoebe_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/buffer/CMakeFiles/phoebe_buffer.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/phoebe_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/phoebe_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crash_torture_test.dir/crash_torture_test.cc.o"
+  "CMakeFiles/crash_torture_test.dir/crash_torture_test.cc.o.d"
+  "crash_torture_test"
+  "crash_torture_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crash_torture_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fault_env_test.dir/fault_env_test.cc.o"
+  "CMakeFiles/fault_env_test.dir/fault_env_test.cc.o.d"
+  "fault_env_test"
+  "fault_env_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fault_env_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

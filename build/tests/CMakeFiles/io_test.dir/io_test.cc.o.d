@@ -398,6 +398,8 @@ tests/CMakeFiles/io_test.dir/io_test.cc.o: /root/repo/tests/io_test.cc \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
  /usr/include/c++/12/mutex /root/repo/src/common/constants.h \
  /root/repo/src/common/status.h /root/repo/src/io/page_file.h \
- /root/repo/src/io/env.h /root/repo/src/common/slice.h \
- /usr/include/c++/12/cstring /root/repo/src/io/io_stats.h \
- /root/repo/src/io/throttle.h /root/repo/tests/test_util.h
+ /usr/include/c++/12/unordered_set \
+ /usr/include/c++/12/bits/unordered_set.h /root/repo/src/io/env.h \
+ /root/repo/src/common/slice.h /usr/include/c++/12/cstring \
+ /root/repo/src/io/io_stats.h /root/repo/src/io/throttle.h \
+ /root/repo/tests/test_util.h

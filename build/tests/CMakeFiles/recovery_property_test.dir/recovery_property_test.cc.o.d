@@ -406,8 +406,10 @@ tests/CMakeFiles/recovery_property_test.dir/recovery_property_test.cc.o: \
  /root/repo/src/storage/btree.h /root/repo/src/buffer/buffer_pool.h \
  /root/repo/src/buffer/swip.h /root/repo/src/io/async_io.h \
  /usr/include/c++/12/thread /root/repo/src/io/page_file.h \
- /root/repo/src/io/io_stats.h /root/repo/src/io/throttle.h \
- /root/repo/src/common/clock.h /usr/include/c++/12/chrono \
+ /usr/include/c++/12/unordered_set \
+ /usr/include/c++/12/bits/unordered_set.h /root/repo/src/io/io_stats.h \
+ /root/repo/src/io/throttle.h /root/repo/src/common/clock.h \
+ /usr/include/c++/12/chrono \
  /usr/lib/gcc/x86_64-linux-gnu/12/include/x86intrin.h \
  /usr/lib/gcc/x86_64-linux-gnu/12/include/mm3dnow.h \
  /usr/lib/gcc/x86_64-linux-gnu/12/include/fma4intrin.h \
@@ -417,8 +419,6 @@ tests/CMakeFiles/recovery_property_test.dir/recovery_property_test.cc.o: \
  /root/repo/src/common/random.h /root/repo/src/storage/table_leaf.h \
  /root/repo/src/storage/frozen_store.h /usr/include/c++/12/list \
  /usr/include/c++/12/bits/stl_list.h /usr/include/c++/12/bits/list.tcc \
- /usr/include/c++/12/unordered_set \
- /usr/include/c++/12/bits/unordered_set.h \
  /root/repo/src/storage/frozen_block.h /root/repo/src/wal/wal_manager.h \
  /root/repo/src/wal/record.h /root/repo/src/runtime/scheduler.h \
  /root/repo/src/runtime/task.h /usr/include/c++/12/coroutine \

@@ -395,7 +395,8 @@ tests/CMakeFiles/runtime_test.dir/runtime_test.cc.o: \
  /usr/lib/gcc/x86_64-linux-gnu/12/include/prfchwintrin.h \
  /usr/lib/gcc/x86_64-linux-gnu/12/include/keylockerintrin.h \
  /root/repo/src/common/random.h /root/repo/src/io/async_io.h \
- /root/repo/src/io/page_file.h /root/repo/src/io/env.h \
+ /root/repo/src/io/page_file.h /usr/include/c++/12/unordered_set \
+ /usr/include/c++/12/bits/unordered_set.h /root/repo/src/io/env.h \
  /root/repo/src/common/slice.h /usr/include/c++/12/cstring \
  /root/repo/src/io/io_stats.h /root/repo/src/io/throttle.h \
  /root/repo/src/common/clock.h /usr/include/c++/12/chrono \

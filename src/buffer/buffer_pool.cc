@@ -76,7 +76,18 @@ Status BufferPool::VerifyPageCrc(const char* page, PageId id) {
 Status BufferPool::LoadPageSync(PageId id, BufferFrame* bf) {
   stats_.loads.fetch_add(1, std::memory_order_relaxed);
   PHOEBE_RETURN_IF_ERROR(page_file_->ReadPage(id, bf->page));
-  return VerifyPageCrc(bf->page, id);
+  Status st = VerifyPageCrc(bf->page, id);
+  if (st.IsCorruption()) {
+    // A CRC mismatch may be in-flight corruption (bus/DRAM bit flip) rather
+    // than bad media: re-read once before giving up. If the page is corrupt
+    // on disk too, quarantine it so later readers fail fast instead of
+    // re-validating a known-bad page forever.
+    IoStats::Global().crc_rereads.fetch_add(1, std::memory_order_relaxed);
+    PHOEBE_RETURN_IF_ERROR(page_file_->ReadPage(id, bf->page));
+    st = VerifyPageCrc(bf->page, id);
+    if (st.IsCorruption()) page_file_->QuarantinePage(id);
+  }
+  return st;
 }
 
 void BufferPool::LoadPageAsync(AsyncIoEngine::Request* req, PageFile* file,

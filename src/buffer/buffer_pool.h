@@ -92,6 +92,13 @@ class BufferPool {
                        (idx % frames_per_partition_)];
   }
 
+  /// Invokes `fn` on every frame in the pool. Teardown/diagnostics only:
+  /// takes no latches, so all concurrent frame users must be quiesced.
+  template <typename Fn>
+  void ForEachFrame(Fn fn) {
+    for (BufferFrame* bf : all_frames_) fn(bf);
+  }
+
   size_t FreeFrames(uint32_t partition) const;
   size_t CoolingFrames(uint32_t partition) const;
   uint32_t partitions() const {

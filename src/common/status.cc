@@ -16,6 +16,7 @@ const char* CodeName(StatusCode code) {
     case StatusCode::kNotSupported: return "NotSupported";
     case StatusCode::kBufferFull: return "BufferFull";
     case StatusCode::kKeyExists: return "KeyExists";
+    case StatusCode::kUnavailable: return "Unavailable";
   }
   return "Unknown";
 }

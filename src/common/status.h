@@ -33,6 +33,8 @@ enum class StatusCode : uint8_t {
   kNotSupported = 8,
   kBufferFull = 9,     // no evictable frame available right now
   kKeyExists = 10,     // unique index violation
+  kUnavailable = 11,   // engine fail-stop (e.g. WAL sync failure); retry
+                       // after reopen/recovery, never treat as success
 };
 
 /// Lightweight status object. Ok status carries no allocation.
@@ -64,6 +66,9 @@ class Status {
   }
   static Status BufferFull() { return Status(StatusCode::kBufferFull, ""); }
   static Status KeyExists() { return Status(StatusCode::kKeyExists, ""); }
+  static Status Unavailable(std::string msg = "") {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
 
   /// A blocked status carrying the wait descriptor. `xid` is the blocking
   /// transaction for kXidLock waits, 0 otherwise.
@@ -86,6 +91,7 @@ class Status {
   bool IsAlreadyExists() const { return code_ == StatusCode::kAlreadyExists; }
   bool IsBufferFull() const { return code_ == StatusCode::kBufferFull; }
   bool IsKeyExists() const { return code_ == StatusCode::kKeyExists; }
+  bool IsUnavailable() const { return code_ == StatusCode::kUnavailable; }
 
   StatusCode code() const { return code_; }
   WaitKind wait_kind() const { return wait_kind_; }

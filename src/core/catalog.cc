@@ -50,10 +50,7 @@ Status Catalog::Save(Env* env, const std::string& dir,
     PHOEBE_RETURN_IF_ERROR(f->Write(0, out));
     PHOEBE_RETURN_IF_ERROR(f->Sync());
   }
-  if (::rename(tmp.c_str(), CatalogPath(dir).c_str()) != 0) {
-    return Status::IOError("rename catalog");
-  }
-  return Status::OK();
+  return env->Rename(tmp, CatalogPath(dir));
 }
 
 Result<CatalogData> Catalog::Load(Env* env, const std::string& dir) {

@@ -3,12 +3,14 @@
 #include <algorithm>
 
 #include "common/profiler.h"
+#include "txn/twin_table.h"
 #include "wal/recovery.h"
 
 namespace phoebe {
 
 Database::Database(const DatabaseOptions& options)
-    : options_(options), env_(Env::Default()) {
+    : options_(options),
+      env_(options.env != nullptr ? options.env : Env::Default()) {
   if (options_.wal_dir.empty()) options_.wal_dir = options_.path + "/wal";
 }
 
@@ -30,6 +32,14 @@ Database::~Database() {
   } else if (lock_handle_ >= 0) {
     env_->UnlockFile(lock_handle_);
     lock_handle_ = -1;
+  }
+  // A clean Close() checkpoints and frees every twin table; a crash-style
+  // teardown (TEST_SimulateCrash) skips that, so sweep the frames once the
+  // WAL flushers are stopped. The undo records a twin table points at are
+  // owned by the transaction slots, so deleting only the tables is safe.
+  wal_.reset();
+  if (pool_ != nullptr) {
+    pool_->ForEachFrame([](BufferFrame* bf) { TwinTable::Destroy(bf); });
   }
 }
 
@@ -200,6 +210,7 @@ Status Database::RunRecovery() {
   if (!scan.ok()) return scan.status();
   const auto& result = scan.value();
   clock_.AdvanceTo(result.max_ts + 1);
+  recovery_info_.torn_tails = result.torn_tails;
   if (result.records.empty()) return Status::OK();
 
   recovery_info_.ran = true;
@@ -353,14 +364,26 @@ void Database::StatementBegin(Transaction* txn) {
 
 Status Database::Commit(OpContext* ctx, Transaction* txn) {
   if (txn->state() != TxnState::kCommitted) {
+    // Fail-stop: once a WAL flush has failed, durability can no longer be
+    // promised, so no new commit may even be logged. The transaction is left
+    // un-finished — recovery after reopen decides its fate (it can only be
+    // discarded: its commit record never became durable).
+    if (wal_->fail_stopped()) return wal_->fail_stop_status();
     Timestamp cts = txn_mgr_->PrepareCommit(txn);
     wal_->LogCommit(txn, cts);
   }
   if (!wal_->CommitDurable(txn)) {
     if (!ctx->synchronous) {
+      if (wal_->fail_stopped()) return wal_->fail_stop_status();
       return Status::Blocked(WaitKind::kCommitFlush);
     }
     wal_->WaitCommitDurable(txn);
+    // CommitDurable is not monotonic (a fresh low-GSN append elsewhere can
+    // re-raise the global wait), so only fail-stop — where no future flush
+    // can ever satisfy it — turns a non-durable wakeup into a rejection.
+    if (wal_->fail_stopped() && !wal_->CommitDurable(txn)) {
+      return wal_->fail_stop_status();
+    }
   }
   txn_mgr_->FinishTransaction(txn, /*committed=*/true);
   if (options_.baseline_global_lock_table) {

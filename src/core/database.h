@@ -138,6 +138,8 @@ class Database {
     uint64_t records_replayed = 0;
     uint64_t committed_txns = 0;
     uint64_t skipped_uncommitted = 0;
+    /// WAL files whose tail was torn by the crash (clean prefix recovered).
+    uint64_t torn_tails = 0;
   };
   const RecoveryInfo& recovery_info() const { return recovery_info_; }
 

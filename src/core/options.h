@@ -8,12 +8,19 @@
 
 namespace phoebe {
 
+class Env;
+
 /// Engine configuration. The baseline_* switches turn on the traditional
 /// RDBMS mechanisms (global lock table, O(n) snapshot scan, centralized WAL)
 /// used by the comparison experiments (Exp 6-9).
 struct DatabaseOptions {
   std::string path;               // data directory (created if absent)
   std::string wal_dir;            // defaults to <path>/wal (Exp 3 separates)
+
+  /// Environment for all file I/O; nullptr selects Env::Default(). Tests
+  /// inject a FaultInjectionEnv here to exercise crash/fault paths. Must
+  /// outlive the Database.
+  Env* env = nullptr;
 
   /// Main-storage budget (the "buffer size" of Exp 5).
   uint64_t buffer_bytes = 256ull << 20;

@@ -9,6 +9,7 @@
 
 #include <atomic>
 #include <cerrno>
+#include <cstdio>
 #include <cstring>
 #include <mutex>
 
@@ -140,6 +141,13 @@ class PosixEnv : public Env {
   Status RemoveFile(const std::string& path) override {
     if (::unlink(path.c_str()) != 0 && errno != ENOENT) {
       return ErrnoStatus("unlink " + path, errno);
+    }
+    return Status::OK();
+  }
+
+  Status Rename(const std::string& from, const std::string& to) override {
+    if (::rename(from.c_str(), to.c_str()) != 0) {
+      return ErrnoStatus("rename " + from + " -> " + to, errno);
     }
     return Status::OK();
   }

@@ -48,6 +48,8 @@ class Env {
                           std::unique_ptr<File>* file) = 0;
   virtual Status CreateDir(const std::string& path) = 0;
   virtual Status RemoveFile(const std::string& path) = 0;
+  /// Atomically renames `from` to `to` (same filesystem).
+  virtual Status Rename(const std::string& from, const std::string& to) = 0;
   virtual Status RemoveDirRecursive(const std::string& path) = 0;
   virtual bool FileExists(const std::string& path) = 0;
   virtual Status ListDir(const std::string& path,

@@ -1,0 +1,366 @@
+#include "io/fault_env.h"
+
+#include <algorithm>
+
+#include "io/io_stats.h"
+
+namespace phoebe {
+
+namespace {
+
+Status Injected(const std::string& what, const std::string& path) {
+  return Status::IOError("injected " + what + " fault: " + path);
+}
+
+}  // namespace
+
+/// File wrapper: forwards to the base file, consults the env's fault
+/// schedule before every op, and maintains the shared durability state
+/// (size / synced_size) that DropUnsyncedData relies on.
+class FaultInjectionFile : public File {
+ public:
+  FaultInjectionFile(FaultInjectionEnv* env, std::unique_ptr<File> base,
+                     std::shared_ptr<FaultInjectionEnv::FileState> state)
+      : env_(env), base_(std::move(base)), state_(std::move(state)) {}
+
+  Status Read(uint64_t offset, size_t n, char* scratch,
+              size_t* bytes_read) const override {
+    Status inj = env_->MaybeInjectError(FaultInjectionEnv::OpClass::kRead,
+                                        state_->path);
+    if (!inj.ok()) return inj;
+    PHOEBE_RETURN_IF_ERROR(base_->Read(offset, n, scratch, bytes_read));
+    uint64_t bit = 0;
+    if (*bytes_read > 0 && env_->ShouldBitFlip(&bit, *bytes_read)) {
+      scratch[bit / 8] ^= static_cast<char>(1u << (bit % 8));
+    }
+    return Status::OK();
+  }
+
+  Status Write(uint64_t offset, const Slice& data) override {
+    Status inj = env_->MaybeInjectError(FaultInjectionEnv::OpClass::kWrite,
+                                        state_->path);
+    if (!inj.ok()) return inj;
+    size_t persist = data.size();
+    bool short_write = env_->TakeShortWrite(state_->path, data.size(),
+                                            &persist);
+    if (persist > 0) {
+      PHOEBE_RETURN_IF_ERROR(
+          base_->Write(offset, Slice(data.data(), persist)));
+    }
+    {
+      std::lock_guard<std::mutex> lk(state_->mu);
+      state_->size = std::max(state_->size, offset + persist);
+    }
+    if (short_write) return Injected("short-write", state_->path);
+    return Status::OK();
+  }
+
+  Status Append(const Slice& data) override {
+    // Route through the shared state so multiple handles agree on the end
+    // offset, and so Write's fault handling applies uniformly.
+    uint64_t off;
+    {
+      std::lock_guard<std::mutex> lk(state_->mu);
+      off = state_->size;
+    }
+    return Write(off, data);
+  }
+
+  Status Sync() override {
+    Status inj = env_->MaybeInjectError(FaultInjectionEnv::OpClass::kSync,
+                                        state_->path);
+    if (!inj.ok()) return inj;
+    PHOEBE_RETURN_IF_ERROR(base_->Sync());
+    std::lock_guard<std::mutex> lk(state_->mu);
+    state_->synced_size = state_->size;
+    return Status::OK();
+  }
+
+  Status Truncate(uint64_t size) override {
+    PHOEBE_RETURN_IF_ERROR(base_->Truncate(size));
+    std::lock_guard<std::mutex> lk(state_->mu);
+    state_->size = size;
+    state_->synced_size = std::min(state_->synced_size, size);
+    return Status::OK();
+  }
+
+  uint64_t Size() const override {
+    std::lock_guard<std::mutex> lk(state_->mu);
+    return state_->size;
+  }
+
+ private:
+  FaultInjectionEnv* env_;
+  std::unique_ptr<File> base_;
+  std::shared_ptr<FaultInjectionEnv::FileState> state_;
+};
+
+FaultInjectionEnv::FaultInjectionEnv(Env* base, uint64_t seed)
+    : base_(base), rng_(seed) {}
+
+uint64_t FaultInjectionEnv::RandUniform(uint64_t n) {
+  std::lock_guard<std::mutex> lk(rng_mu_);
+  return rng_.Uniform(n);
+}
+
+std::shared_ptr<FaultInjectionEnv::FileState> FaultInjectionEnv::StateFor(
+    const std::string& path, uint64_t size, bool truncate) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = files_.find(path);
+  if (it == files_.end()) {
+    auto state = std::make_shared<FileState>();
+    state->path = path;
+    state->size = size;
+    state->synced_size = size;  // pre-existing bytes count as durable
+    files_[path] = state;
+    return state;
+  }
+  if (truncate) {
+    std::lock_guard<std::mutex> slk(it->second->mu);
+    it->second->size = 0;
+    it->second->synced_size = 0;
+  }
+  return it->second;
+}
+
+Status FaultInjectionEnv::OpenFile(const std::string& path,
+                                   const OpenOptions& opts,
+                                   std::unique_ptr<File>* file) {
+  std::unique_ptr<File> base_file;
+  PHOEBE_RETURN_IF_ERROR(base_->OpenFile(path, opts, &base_file));
+  auto state = StateFor(path, base_file->Size(), opts.truncate);
+  file->reset(new FaultInjectionFile(this, std::move(base_file),
+                                     std::move(state)));
+  return Status::OK();
+}
+
+Status FaultInjectionEnv::CreateDir(const std::string& path) {
+  return base_->CreateDir(path);
+}
+
+Status FaultInjectionEnv::RemoveFile(const std::string& path) {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    files_.erase(path);
+  }
+  return base_->RemoveFile(path);
+}
+
+Status FaultInjectionEnv::Rename(const std::string& from,
+                                 const std::string& to) {
+  PHOEBE_RETURN_IF_ERROR(base_->Rename(from, to));
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = files_.find(from);
+  if (it != files_.end()) {
+    auto state = it->second;
+    files_.erase(it);
+    {
+      std::lock_guard<std::mutex> slk(state->mu);
+      state->path = to;
+    }
+    files_[to] = std::move(state);
+  } else {
+    files_.erase(to);
+  }
+  return Status::OK();
+}
+
+Status FaultInjectionEnv::RemoveDirRecursive(const std::string& path) {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    for (auto it = files_.begin(); it != files_.end();) {
+      if (it->first.rfind(path + "/", 0) == 0 || it->first == path) {
+        it = files_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  return base_->RemoveDirRecursive(path);
+}
+
+bool FaultInjectionEnv::FileExists(const std::string& path) {
+  return base_->FileExists(path);
+}
+
+Status FaultInjectionEnv::ListDir(const std::string& path,
+                                  std::vector<std::string>* names) {
+  return base_->ListDir(path, names);
+}
+
+Result<uint64_t> FaultInjectionEnv::FileSize(const std::string& path) {
+  return base_->FileSize(path);
+}
+
+Result<int> FaultInjectionEnv::LockFile(const std::string& path) {
+  return base_->LockFile(path);
+}
+
+void FaultInjectionEnv::UnlockFile(int handle) { base_->UnlockFile(handle); }
+
+void FaultInjectionEnv::FailNthOp(OpClass cls, uint64_t nth, int count,
+                                  const std::string& path_filter) {
+  std::lock_guard<std::mutex> lk(mu_);
+  NthFault& f = nth_[static_cast<size_t>(cls)];
+  f.armed = nth > 0 && count > 0;
+  f.remaining_skip = nth > 0 ? nth - 1 : 0;
+  f.remaining_fail = count;
+  f.path_filter = path_filter;
+}
+
+void FaultInjectionEnv::SetReadErrorEvery(uint64_t n) {
+  std::lock_guard<std::mutex> lk(mu_);
+  read_error_every_ = n;
+  reads_since_error_ = 0;
+}
+
+void FaultInjectionEnv::SetBitFlipEvery(uint64_t n) {
+  std::lock_guard<std::mutex> lk(mu_);
+  bit_flip_every_ = n;
+  reads_since_flip_ = 0;
+}
+
+void FaultInjectionEnv::ShortWriteNext(const std::string& path_filter) {
+  std::lock_guard<std::mutex> lk(mu_);
+  short_write_armed_ = true;
+  short_write_filter_ = path_filter;
+}
+
+void FaultInjectionEnv::FailAllSyncs(bool on) {
+  fail_all_syncs_.store(on, std::memory_order_release);
+}
+
+void FaultInjectionEnv::ClearFaults() {
+  fail_all_syncs_.store(false, std::memory_order_release);
+  std::lock_guard<std::mutex> lk(mu_);
+  for (auto& f : nth_) {
+    f.armed = false;
+    f.remaining_skip = 0;
+    f.remaining_fail = 0;
+    f.path_filter.clear();
+  }
+  read_error_every_ = 0;
+  bit_flip_every_ = 0;
+  short_write_armed_ = false;
+}
+
+void FaultInjectionEnv::CountInjected(OpClass cls) {
+  switch (cls) {
+    case OpClass::kRead:
+      stats_.injected_read_errors.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case OpClass::kWrite:
+      stats_.injected_write_errors.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case OpClass::kSync:
+      stats_.injected_sync_errors.fetch_add(1, std::memory_order_relaxed);
+      break;
+  }
+  IoStats::Global().injected_faults.fetch_add(1, std::memory_order_relaxed);
+}
+
+Status FaultInjectionEnv::MaybeInjectError(OpClass cls,
+                                           const std::string& path) {
+  if (cls == OpClass::kSync &&
+      fail_all_syncs_.load(std::memory_order_acquire)) {
+    CountInjected(cls);
+    return Injected("sync", path);
+  }
+  std::lock_guard<std::mutex> lk(mu_);
+  if (cls == OpClass::kRead && read_error_every_ > 0) {
+    if (++reads_since_error_ >= read_error_every_) {
+      reads_since_error_ = 0;
+      CountInjected(cls);
+      return Injected("read", path);
+    }
+  }
+  NthFault& f = nth_[static_cast<size_t>(cls)];
+  if (f.armed &&
+      (f.path_filter.empty() ||
+       path.find(f.path_filter) != std::string::npos)) {
+    if (f.remaining_skip > 0) {
+      --f.remaining_skip;
+    } else {
+      if (--f.remaining_fail <= 0) f.armed = false;
+      CountInjected(cls);
+      return Injected("nth-op", path);
+    }
+  }
+  return Status::OK();
+}
+
+bool FaultInjectionEnv::ShouldBitFlip(uint64_t* bit_index, size_t buf_len) {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (bit_flip_every_ == 0) return false;
+  if (++reads_since_flip_ < bit_flip_every_) return false;
+  reads_since_flip_ = 0;
+  *bit_index = RandUniform(static_cast<uint64_t>(buf_len) * 8);
+  stats_.injected_bit_flips.fetch_add(1, std::memory_order_relaxed);
+  IoStats::Global().injected_faults.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+bool FaultInjectionEnv::TakeShortWrite(const std::string& path, size_t len,
+                                       size_t* persist) {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (!short_write_armed_) return false;
+  if (!short_write_filter_.empty() &&
+      path.find(short_write_filter_) == std::string::npos) {
+    return false;
+  }
+  short_write_armed_ = false;
+  // Keep a sector-aligned prefix strictly shorter than the full write.
+  uint64_t keep = len > 0 ? RandUniform(len) : 0;
+  keep -= keep % kSectorSize;
+  *persist = static_cast<size_t>(keep);
+  stats_.injected_short_writes.fetch_add(1, std::memory_order_relaxed);
+  IoStats::Global().injected_faults.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+void FaultInjectionEnv::DropUnsyncedData(bool torn_tail) {
+  std::vector<std::shared_ptr<FileState>> states;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    states.reserve(files_.size());
+    for (auto& kv : files_) states.push_back(kv.second);
+  }
+  for (auto& state : states) {
+    std::lock_guard<std::mutex> slk(state->mu);
+    if (!base_->FileExists(state->path)) continue;
+    if (state->size <= state->synced_size) continue;
+    uint64_t tail = state->size - state->synced_size;
+    uint64_t keep = 0;
+    if (torn_tail) {
+      uint64_t pick = RandUniform(tail + 1);
+      keep = pick - pick % kSectorSize;  // sector granularity
+    }
+    uint64_t new_size = state->synced_size + keep;
+    Env::OpenOptions fo;
+    fo.create = false;
+    std::unique_ptr<File> f;
+    if (!base_->OpenFile(state->path, fo, &f).ok()) continue;
+    (void)f->Truncate(new_size);
+    if (keep > 0) {
+      // Garble one seeded byte inside the last surviving sector: the torn
+      // write a power cut mid-sector leaves behind.
+      uint64_t span = std::min<uint64_t>(keep, kSectorSize);
+      uint64_t pos = new_size - 1 - RandUniform(span);
+      uint8_t mask = static_cast<uint8_t>(1u << RandUniform(8));
+      char byte = 0;
+      size_t got = 0;
+      if (f->Read(pos, 1, &byte, &got).ok() && got == 1) {
+        byte = static_cast<char>(static_cast<uint8_t>(byte) ^ mask);
+        (void)f->Write(pos, Slice(&byte, 1));
+      }
+    }
+    (void)f->Sync();
+    stats_.files_truncated_on_crash.fetch_add(1, std::memory_order_relaxed);
+    stats_.bytes_dropped_on_crash.fetch_add(state->size - new_size,
+                                            std::memory_order_relaxed);
+    state->size = new_size;
+    state->synced_size = new_size;
+  }
+}
+
+}  // namespace phoebe

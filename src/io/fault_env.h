@@ -1,0 +1,169 @@
+#ifndef PHOEBE_IO_FAULT_ENV_H_
+#define PHOEBE_IO_FAULT_ENV_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/random.h"
+#include "io/env.h"
+
+namespace phoebe {
+
+/// Fault-injecting Env wrapper in the RocksDB FaultInjectionTestFS idiom:
+/// every File it hands out forwards to the base Env while tracking the
+/// last-synced size of each file, and a deterministic, seeded fault schedule
+/// can inject
+///   - fail-the-Nth-op I/O errors (reads, writes, syncs; transient or sticky),
+///   - short writes (only a sector-aligned prefix persists),
+///   - sector-granularity torn writes at crash time,
+///   - bit-flip read corruption (returned buffer only, disk stays intact),
+///   - sticky Sync() failures (the classic fsync-gate failure mode),
+/// and DropUnsyncedData()/SimulateCrash() truncates every tracked file back
+/// to its last-synced state — what a power cut leaves behind.
+///
+/// Thread-safe: the engine calls in from worker, flusher, and I/O threads.
+/// Fault scheduling is expected to happen from a test/controller thread.
+///
+/// Known simplification (documented in DESIGN.md §4d): positional overwrites
+/// of already-synced regions are treated as durable at crash time; only data
+/// beyond the last synced size is dropped/torn. The engine never trusts
+/// overwritten data pages without a clean-checkpoint catalog, so this does
+/// not weaken the crash-torture invariants.
+class FaultInjectionEnv : public Env {
+ public:
+  enum class OpClass : uint8_t { kRead = 0, kWrite = 1, kSync = 2 };
+  static constexpr size_t kNumOpClasses = 3;
+  /// Torn-write granularity: crash truncation keeps a sector-aligned prefix
+  /// of the unsynced tail and garbles the final surviving sector.
+  static constexpr uint64_t kSectorSize = 512;
+
+  struct Stats {
+    std::atomic<uint64_t> injected_read_errors{0};
+    std::atomic<uint64_t> injected_write_errors{0};
+    std::atomic<uint64_t> injected_sync_errors{0};
+    std::atomic<uint64_t> injected_bit_flips{0};
+    std::atomic<uint64_t> injected_short_writes{0};
+    std::atomic<uint64_t> files_truncated_on_crash{0};
+    std::atomic<uint64_t> bytes_dropped_on_crash{0};
+  };
+
+  explicit FaultInjectionEnv(Env* base, uint64_t seed = 0x5eed);
+  ~FaultInjectionEnv() override = default;
+
+  /// --- Env interface ------------------------------------------------------
+
+  Status OpenFile(const std::string& path, const OpenOptions& opts,
+                  std::unique_ptr<File>* file) override;
+  Status CreateDir(const std::string& path) override;
+  Status RemoveFile(const std::string& path) override;
+  Status Rename(const std::string& from, const std::string& to) override;
+  Status RemoveDirRecursive(const std::string& path) override;
+  bool FileExists(const std::string& path) override;
+  Status ListDir(const std::string& path,
+                 std::vector<std::string>* names) override;
+  Result<uint64_t> FileSize(const std::string& path) override;
+  Result<int> LockFile(const std::string& path) override;
+  void UnlockFile(int handle) override;
+
+  /// --- Fault schedule -----------------------------------------------------
+
+  /// Arms a one-burst fault: after `nth - 1` more ops of `cls` (whose path
+  /// contains `path_filter`; empty matches all), the following `count` ops
+  /// fail with an injected kIOError. Transient: the schedule then disarms.
+  void FailNthOp(OpClass cls, uint64_t nth, int count = 1,
+                 const std::string& path_filter = "");
+
+  /// Every `n`th read (n >= 2 recommended so retry can absorb it) fails
+  /// with an injected kIOError; 0 disables.
+  void SetReadErrorEvery(uint64_t n);
+
+  /// Every `n`th successful read has one seeded bit flipped in the returned
+  /// buffer (the on-disk bytes stay intact); 0 disables. Models bus/DRAM
+  /// corruption that a re-read heals.
+  void SetBitFlipEvery(uint64_t n);
+
+  /// The next write whose path contains `path_filter` persists only a
+  /// sector-aligned prefix and returns kIOError (a short write: ENOSPC or
+  /// power loss mid-write).
+  void ShortWriteNext(const std::string& path_filter = "");
+
+  /// All subsequent Sync() calls fail with kIOError until disabled: the
+  /// sticky fsync-failure mode that must drive the engine into fail-stop.
+  void FailAllSyncs(bool on);
+
+  /// Disarms every scheduled fault (does not reset stats).
+  void ClearFaults();
+
+  /// --- Crash simulation ---------------------------------------------------
+
+  /// Truncates every tracked file back to its last-synced size, dropping
+  /// all unsynced data. With `torn_tail`, a seeded sector-aligned prefix of
+  /// the unsynced tail survives instead and the last surviving sector is
+  /// garbled — the torn write a real power cut produces. Call after the
+  /// crashing Database object is fully destroyed (its destructor may still
+  /// append unsynced bytes, which this then drops, exactly like a dirty OS
+  /// page cache dying with the machine).
+  void DropUnsyncedData(bool torn_tail);
+  void SimulateCrash(bool torn_tail = true) { DropUnsyncedData(torn_tail); }
+
+  Stats& stats() { return stats_; }
+  Env* base() { return base_; }
+
+ private:
+  friend class FaultInjectionFile;
+
+  /// Durability bookkeeping shared by every handle open on one path.
+  struct FileState {
+    std::string path;
+    std::mutex mu;
+    uint64_t size = 0;
+    uint64_t synced_size = 0;
+  };
+
+  struct NthFault {
+    bool armed = false;
+    uint64_t remaining_skip = 0;
+    int remaining_fail = 0;
+    std::string path_filter;
+  };
+
+  std::shared_ptr<FileState> StateFor(const std::string& path, uint64_t size,
+                                      bool truncate);
+  /// Seeded uniform draw in [0, n); usable under mu_ or a FileState mutex
+  /// (rng_mu_ is a leaf lock).
+  uint64_t RandUniform(uint64_t n);
+  /// Consults the schedule for one op; returns the injected error if this
+  /// op must fail.
+  Status MaybeInjectError(OpClass cls, const std::string& path);
+  /// True when this read should have a bit flipped; fills the flip position.
+  bool ShouldBitFlip(uint64_t* bit_index, size_t buf_len);
+  /// Consumes an armed short-write for `path`; sets `*persist` to the
+  /// sector-aligned prefix length that actually reaches the base file.
+  bool TakeShortWrite(const std::string& path, size_t len, size_t* persist);
+  void CountInjected(OpClass cls);
+
+  Env* base_;
+  Stats stats_;
+
+  std::mutex mu_;  // guards the schedule and the file-state map
+  std::mutex rng_mu_;  // leaf lock for the seeded generator
+  Random rng_;
+  std::unordered_map<std::string, std::shared_ptr<FileState>> files_;
+  NthFault nth_[kNumOpClasses];
+  uint64_t read_error_every_ = 0;
+  uint64_t reads_since_error_ = 0;
+  uint64_t bit_flip_every_ = 0;
+  uint64_t reads_since_flip_ = 0;
+  bool short_write_armed_ = false;
+  std::string short_write_filter_;
+  std::atomic<bool> fail_all_syncs_{false};
+};
+
+}  // namespace phoebe
+
+#endif  // PHOEBE_IO_FAULT_ENV_H_

@@ -1,0 +1,51 @@
+#ifndef PHOEBE_IO_IO_RETRY_H_
+#define PHOEBE_IO_IO_RETRY_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <thread>
+#include <utility>
+
+#include "common/status.h"
+
+namespace phoebe {
+
+/// Bounded retry-with-backoff policy for transient I/O errors. Only
+/// kIOError is considered transient (a flaky device/controller); kCorruption
+/// and the other codes are deterministic and never retried here.
+struct IoRetryPolicy {
+  int max_attempts = 3;       // total attempts, including the first
+  uint32_t backoff_us = 50;   // doubles after every failed attempt
+};
+
+inline const IoRetryPolicy& DefaultIoRetryPolicy() {
+  static IoRetryPolicy policy;
+  return policy;
+}
+
+/// Runs `fn` (returning Status) up to policy.max_attempts times, sleeping
+/// an exponentially growing backoff between attempts while the result is a
+/// (transient) kIOError. Bumps `retry_counter` once per retry so degraded
+/// devices are observable.
+template <typename Fn>
+Status RetryIo(const IoRetryPolicy& policy,
+               std::atomic<uint64_t>* retry_counter, Fn&& fn) {
+  Status st = fn();
+  uint32_t backoff = policy.backoff_us;
+  for (int attempt = 1; !st.ok() && st.IsIOError() &&
+                        attempt < policy.max_attempts;
+       ++attempt) {
+    if (retry_counter != nullptr) {
+      retry_counter->fetch_add(1, std::memory_order_relaxed);
+    }
+    std::this_thread::sleep_for(std::chrono::microseconds(backoff));
+    backoff *= 2;
+    st = fn();
+  }
+  return st;
+}
+
+}  // namespace phoebe
+
+#endif  // PHOEBE_IO_IO_RETRY_H_

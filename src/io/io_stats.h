@@ -3,11 +3,15 @@
 
 #include <atomic>
 #include <cstdint>
+#include <string>
 
 namespace phoebe {
 
 /// Process-wide I/O counters, split into data-page and WAL traffic. The
 /// disk-throughput experiments (Exp 3 and Exp 4) sample these per second.
+/// The degradation counters (retries, CRC re-reads, quarantines, injected
+/// faults, sync failures) make graceful-degradation behaviour observable in
+/// the bench harness and the fault-injection test suites.
 struct IoStats {
   std::atomic<uint64_t> data_bytes_read{0};
   std::atomic<uint64_t> data_bytes_written{0};
@@ -15,6 +19,14 @@ struct IoStats {
   std::atomic<uint64_t> data_writes{0};
   std::atomic<uint64_t> wal_bytes_written{0};
   std::atomic<uint64_t> wal_flushes{0};
+
+  /// Degradation / fault-handling counters.
+  std::atomic<uint64_t> read_retries{0};       // transient read errors retried
+  std::atomic<uint64_t> write_retries{0};      // transient write errors retried
+  std::atomic<uint64_t> crc_rereads{0};        // page/block CRC mismatch re-reads
+  std::atomic<uint64_t> pages_quarantined{0};  // pages failed twice, fenced off
+  std::atomic<uint64_t> injected_faults{0};    // faults injected by a test Env
+  std::atomic<uint64_t> wal_sync_failures{0};  // WAL fsync errors (fail-stop)
 
   static IoStats& Global() {
     static IoStats* s = new IoStats();
@@ -28,6 +40,31 @@ struct IoStats {
     data_writes = 0;
     wal_bytes_written = 0;
     wal_flushes = 0;
+    read_retries = 0;
+    write_retries = 0;
+    crc_rereads = 0;
+    pages_quarantined = 0;
+    injected_faults = 0;
+    wal_sync_failures = 0;
+  }
+
+  /// One-line summary of the degradation counters; empty when all are zero
+  /// so healthy bench runs stay quiet.
+  std::string DegradationString() const {
+    uint64_t rr = read_retries.load(std::memory_order_relaxed);
+    uint64_t wr = write_retries.load(std::memory_order_relaxed);
+    uint64_t cr = crc_rereads.load(std::memory_order_relaxed);
+    uint64_t q = pages_quarantined.load(std::memory_order_relaxed);
+    uint64_t inj = injected_faults.load(std::memory_order_relaxed);
+    uint64_t sf = wal_sync_failures.load(std::memory_order_relaxed);
+    if (rr + wr + cr + q + inj + sf == 0) return std::string();
+    std::string out = "degradation: read_retries=" + std::to_string(rr) +
+                      " write_retries=" + std::to_string(wr) +
+                      " crc_rereads=" + std::to_string(cr) +
+                      " quarantined=" + std::to_string(q) +
+                      " injected_faults=" + std::to_string(inj) +
+                      " wal_sync_failures=" + std::to_string(sf);
+    return out;
   }
 };
 

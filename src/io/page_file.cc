@@ -3,6 +3,7 @@
 #include <cstring>
 
 #include "common/crc32.h"
+#include "io/io_retry.h"
 
 namespace phoebe {
 
@@ -44,13 +45,23 @@ Result<std::unique_ptr<PageFile>> PageFile::Open(Env* env,
 }
 
 Status PageFile::ReadPage(PageId id, char* buf) const {
-  if (throttle_ != nullptr) throttle_->Acquire(kPageSize);
-  size_t got = 0;
-  PHOEBE_RETURN_IF_ERROR(file_->Read(id * kPageSize, kPageSize, buf, &got));
-  if (got != kPageSize) {
-    return Status::Corruption("short page read at page " + std::to_string(id));
+  if (IsQuarantined(id)) {
+    return Status::Corruption("page quarantined: " + std::to_string(id));
   }
+  if (throttle_ != nullptr) throttle_->Acquire(kPageSize);
   auto& stats = IoStats::Global();
+  PHOEBE_RETURN_IF_ERROR(
+      RetryIo(DefaultIoRetryPolicy(), &stats.read_retries, [&] {
+        size_t got = 0;
+        PHOEBE_RETURN_IF_ERROR(
+            file_->Read(id * kPageSize, kPageSize, buf, &got));
+        if (got != kPageSize) {
+          // A genuine short read (EOF) is deterministic: not retried.
+          return Status::Corruption("short page read at page " +
+                                    std::to_string(id));
+        }
+        return Status::OK();
+      }));
   stats.data_bytes_read.fetch_add(kPageSize, std::memory_order_relaxed);
   stats.data_reads.fetch_add(1, std::memory_order_relaxed);
   return Status::OK();
@@ -58,11 +69,27 @@ Status PageFile::ReadPage(PageId id, char* buf) const {
 
 Status PageFile::WritePage(PageId id, const char* buf) {
   if (throttle_ != nullptr) throttle_->Acquire(kPageSize);
-  PHOEBE_RETURN_IF_ERROR(file_->Write(id * kPageSize, Slice(buf, kPageSize)));
   auto& stats = IoStats::Global();
+  PHOEBE_RETURN_IF_ERROR(
+      RetryIo(DefaultIoRetryPolicy(), &stats.write_retries, [&] {
+        return file_->Write(id * kPageSize, Slice(buf, kPageSize));
+      }));
   stats.data_bytes_written.fetch_add(kPageSize, std::memory_order_relaxed);
   stats.data_writes.fetch_add(1, std::memory_order_relaxed);
   return Status::OK();
+}
+
+void PageFile::QuarantinePage(PageId id) {
+  std::lock_guard<std::mutex> lk(quarantine_mu_);
+  if (quarantined_.insert(id).second) {
+    IoStats::Global().pages_quarantined.fetch_add(1,
+                                                  std::memory_order_relaxed);
+  }
+}
+
+bool PageFile::IsQuarantined(PageId id) const {
+  std::lock_guard<std::mutex> lk(quarantine_mu_);
+  return !quarantined_.empty() && quarantined_.count(id) > 0;
 }
 
 PageId PageFile::AllocatePage() {

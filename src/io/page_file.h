@@ -5,6 +5,7 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <unordered_set>
 #include <vector>
 
 #include "common/constants.h"
@@ -33,11 +34,20 @@ class PageFile {
                                                 const std::string& path,
                                                 bool direct_io = false);
 
-  /// Reads page `id` into `buf` (must hold kPageSize bytes).
+  /// Reads page `id` into `buf` (must hold kPageSize bytes). Transient
+  /// kIOError failures are absorbed by a bounded retry-with-backoff; a
+  /// quarantined page fails immediately with kCorruption.
   Status ReadPage(PageId id, char* buf) const;
 
-  /// Writes page `id` from `buf` (kPageSize bytes).
+  /// Writes page `id` from `buf` (kPageSize bytes), with bounded retry on
+  /// transient kIOError failures.
   Status WritePage(PageId id, const char* buf);
+
+  /// Marks `id` as delivering corrupt data even after a CRC re-read; all
+  /// further reads fail fast with kCorruption instead of handing callers
+  /// bad bytes. Degradation, not crash: unaffected pages stay serviceable.
+  void QuarantinePage(PageId id);
+  bool IsQuarantined(PageId id) const;
 
   /// Allocates a fresh page id (recycling freed ids when available).
   PageId AllocatePage();
@@ -62,6 +72,8 @@ class PageFile {
   std::atomic<uint64_t> next_page_;
   std::mutex free_mu_;
   std::vector<PageId> free_list_;
+  mutable std::mutex quarantine_mu_;
+  std::unordered_set<PageId> quarantined_;
   BandwidthThrottle* throttle_ = nullptr;
 };
 

@@ -5,6 +5,7 @@
 
 #include "common/coding.h"
 #include "common/profiler.h"
+#include "io/io_stats.h"
 
 namespace phoebe {
 
@@ -202,6 +203,13 @@ Status BTree::FinishPendingLoad(OpContext* ctx, Swip* swip,
   Status io_st = load.req.result;
   if (io_st.ok()) {
     io_st = BufferPool::VerifyPageCrc(bf->page, load.page_id);
+    if (!io_st.ok()) {
+      // The async read may have absorbed in-flight corruption; fall back to
+      // one synchronous load, which re-reads, re-verifies, and quarantines
+      // the page if it is corrupt on disk too.
+      IoStats::Global().crc_rereads.fetch_add(1, std::memory_order_relaxed);
+      io_st = pool_->LoadPageSync(load.page_id, bf);
+    }
   }
   if (!io_st.ok()) {
     bf->latch.UnlockExclusive();

@@ -4,6 +4,8 @@
 
 #include "common/coding.h"
 #include "common/crc32.h"
+#include "io/io_retry.h"
+#include "io/io_stats.h"
 
 namespace phoebe {
 
@@ -169,12 +171,31 @@ FrozenStore::GetBlockLocked(RowId rid, BlockMeta** meta_out) {
     }
   }
   std::string buf(meta.size, '\0');
-  size_t got = 0;
-  Status st = block_file_->Read(meta.offset, meta.size, buf.data(), &got);
+  // Transient read errors are retried; a genuinely short read (truncated
+  // block file) is deterministic corruption.
+  Status st = RetryIo(DefaultIoRetryPolicy(),
+                      &IoStats::Global().read_retries, [&] {
+                        size_t got = 0;
+                        PHOEBE_RETURN_IF_ERROR(block_file_->Read(
+                            meta.offset, meta.size, buf.data(), &got));
+                        if (got != meta.size) {
+                          return Status::Corruption("short block read");
+                        }
+                        return Status::OK();
+                      });
   if (!st.ok()) return R(st);
-  if (got != meta.size) return R(Status::Corruption("short block read"));
   Result<FrozenBlockCodec::DecodedBlock> decoded =
       FrozenBlockCodec::Decode(*schema_, buf);
+  if (!decoded.ok() && decoded.status().IsCorruption()) {
+    // The block has its own CRC, so a decode failure may be in-flight
+    // corruption rather than bad media: re-read once before propagating.
+    IoStats::Global().crc_rereads.fetch_add(1, std::memory_order_relaxed);
+    size_t got = 0;
+    st = block_file_->Read(meta.offset, meta.size, buf.data(), &got);
+    if (st.ok() && got == meta.size) {
+      decoded = FrozenBlockCodec::Decode(*schema_, buf);
+    }
+  }
   if (!decoded.ok()) return R(decoded.status());
   auto block = std::make_shared<FrozenBlockCodec::DecodedBlock>(
       std::move(decoded.value()));
@@ -247,9 +268,14 @@ Status ScanColumnImpl(
                      const std::function<bool(RowId, T)>&)) {
   for (const auto& [offset, size] : extents) {
     std::string buf(size, '\0');
-    size_t got = 0;
-    PHOEBE_RETURN_IF_ERROR(block_file->Read(offset, size, buf.data(), &got));
-    if (got != size) return Status::Corruption("short block read");
+    PHOEBE_RETURN_IF_ERROR(RetryIo(
+        DefaultIoRetryPolicy(), &IoStats::Global().read_retries, [&] {
+          size_t got = 0;
+          PHOEBE_RETURN_IF_ERROR(
+              block_file->Read(offset, size, buf.data(), &got));
+          if (got != size) return Status::Corruption("short block read");
+          return Status::OK();
+        }));
     bool stop = false;
     PHOEBE_RETURN_IF_ERROR(
         decode(schema, buf, col, [&](RowId rid, T v) {

@@ -90,7 +90,15 @@ std::string DriverResult::Summary() const {
            static_cast<unsigned long long>(user_aborts),
            static_cast<unsigned long long>(sys_aborts), wal_mb_per_s,
            seconds);
-  return buf;
+  std::string out = buf;
+  // Surface graceful-degradation events (I/O retries, CRC re-reads,
+  // quarantines, WAL sync failures); empty on a healthy run.
+  std::string degradation = IoStats::Global().DegradationString();
+  if (!degradation.empty()) {
+    out += "\n";
+    out += degradation;
+  }
+  return out;
 }
 
 DriverResult RunTpcc(Workload* w, const DriverConfig& config) {

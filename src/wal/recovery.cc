@@ -2,6 +2,9 @@
 
 #include <algorithm>
 
+#include "io/io_retry.h"
+#include "io/io_stats.h"
+
 namespace phoebe {
 
 Result<WalRecovery::ScanResult> WalRecovery::Scan(Env* env,
@@ -26,17 +29,35 @@ Result<WalRecovery::ScanResult> WalRecovery::Scan(Env* env,
     if (!st.ok()) return R(st);
     uint64_t size = f->Size();
     std::string buf(size, '\0');
-    size_t got = 0;
     if (size > 0) {
-      st = f->Read(0, size, buf.data(), &got);
+      // A short or failed read here is a *mid-log I/O error*, not a torn
+      // tail: retrying absorbs transient faults, and a persistent failure
+      // aborts the scan. Treating it as end-of-log would silently drop
+      // every record past the failure — committed history vanishing on a
+      // flaky disk.
+      st = RetryIo(DefaultIoRetryPolicy(),
+                   &IoStats::Global().read_retries, [&] {
+                     size_t got = 0;
+                     PHOEBE_RETURN_IF_ERROR(
+                         f->Read(0, size, buf.data(), &got));
+                     if (got != size) {
+                       return Status::IOError("short wal read: " + name);
+                     }
+                     return Status::OK();
+                   });
       if (!st.ok()) return R(st);
     }
-    Slice input(buf.data(), got);
+    Slice input(buf.data(), size);
     for (;;) {
       WalRecord rec;
       Status ds = WalRecordCodec::DecodeNext(&input, writer_id, &rec);
       if (ds.IsNotFound()) break;
-      if (ds.IsCorruption()) break;  // torn tail: stop at last good record
+      if (ds.IsCorruption()) {
+        // Torn tail: the crash interrupted the last append. Keep the clean
+        // prefix; everything before it decoded with a valid CRC.
+        out.torn_tails += 1;
+        break;
+      }
       if (!ds.ok()) return R(ds);
       out.total_records += 1;
       out.max_ts = std::max(out.max_ts, XidStartTs(rec.xid));

@@ -29,6 +29,11 @@ class WalRecovery {
     Timestamp max_ts = 0;
     uint64_t total_records = 0;
     uint64_t skipped_uncommitted = 0;
+    /// Files whose scan stopped at a torn (corrupt) tail record. Torn tails
+    /// are expected after a crash and recovery keeps the clean prefix; a
+    /// mid-log read error, by contrast, fails the whole scan — a flaky disk
+    /// must never silently truncate history.
+    uint64_t torn_tails = 0;
   };
 
   /// Scans all `wal_<i>.log` files under `dir`.

@@ -76,6 +76,14 @@ uint64_t WalWriter::Append(WalRecordType type, Xid xid, uint64_t gsn,
       mgr_->pstats_.inline_flushes.fetch_add(1, std::memory_order_relaxed);
     }
     (void)Flush();
+    if (mgr_ != nullptr && mgr_->fail_stopped()) {
+      // Fail-stop: the log device no longer accepts bytes; spinning on the
+      // full buffer would hang the worker. Hand out an LSN that can never
+      // become durable — the commit is rejected with kUnavailable and
+      // recovery discards the transaction.
+      std::lock_guard<std::mutex> lk(mu_);
+      return next_lsn_++;
+    }
   }
   // Encode outside the critical section; publish completion so the flusher
   // can seal past this reservation.
@@ -122,6 +130,10 @@ uint64_t WalWriter::AppendOversize(WalRecordType type, Xid xid, uint64_t gsn,
     st = file_->Append(tmp);
     if (st.ok() && sync_on_flush_->load(std::memory_order_relaxed)) {
       st = file_->Sync();
+      if (!st.ok()) {
+        IoStats::Global().wal_sync_failures.fetch_add(
+            1, std::memory_order_relaxed);
+      }
     }
     if (st.ok()) {
       wrote += tmp.size();
@@ -145,6 +157,7 @@ uint64_t WalWriter::AppendOversize(WalRecordType type, Xid xid, uint64_t gsn,
     }
   }
   lk.unlock();
+  if (!st.ok() && mgr_ != nullptr) mgr_->EnterFailStop(st);
   WakeDurableWaiters();
   if (mgr_ != nullptr) mgr_->WakeRemoteWaiters();
   return lsn;
@@ -164,6 +177,9 @@ Result<size_t> WalWriter::Flush() {
 }
 
 Result<size_t> WalWriter::FlushLocked() {
+  if (mgr_ != nullptr && mgr_->fail_stopped()) {
+    return Result<size_t>(mgr_->fail_stop_status());
+  }
   LogBuffer* sealed = nullptr;
   {
     std::lock_guard<std::mutex> lk(mu_);
@@ -175,10 +191,18 @@ Result<size_t> WalWriter::FlushLocked() {
   }
   AwaitEncoded(sealed);
   Status st = file_->Append(Slice(sealed->data.get(), sealed->reserved));
-  if (!st.ok()) return Result<size_t>(st);
+  if (!st.ok()) {
+    if (mgr_ != nullptr) mgr_->EnterFailStop(st);
+    return Result<size_t>(st);
+  }
   if (sync_on_flush_->load(std::memory_order_relaxed)) {
     st = file_->Sync();
-    if (!st.ok()) return Result<size_t>(st);
+    if (!st.ok()) {
+      IoStats::Global().wal_sync_failures.fetch_add(1,
+                                                    std::memory_order_relaxed);
+      if (mgr_ != nullptr) mgr_->EnterFailStop(st);
+      return Result<size_t>(st);
+    }
   }
   size_t bytes = sealed->reserved;
   auto& stats = IoStats::Global();
@@ -213,6 +237,10 @@ void WalWriter::WaitDurable(uint64_t lsn) {
   // Re-check after locking: WakeDurableWaiters publishes flushed_lsn before
   // taking wait_mu_, so a flush completing before this point is visible.
   if (flushed_lsn() >= lsn) return;
+  // Fail-stop raises the flag before sweeping wait lists, so checking here
+  // under wait_mu_ guarantees we either see it or get swept: never park on
+  // a flush that will not happen. The caller re-checks durability.
+  if (mgr_ != nullptr && mgr_->fail_stopped()) return;
   wait_list_.push_back(&node);
   node.cv.wait(lk, [&] { return node.ready; });
 }
@@ -242,8 +270,14 @@ Status WalWriter::TruncateAndReset() {
     AwaitEncoded(active_);
     bufs_[0].Reset();
     bufs_[1].Reset();
-    PHOEBE_RETURN_IF_ERROR(file_->Truncate(0));
-    PHOEBE_RETURN_IF_ERROR(file_->Sync());
+    Status st = file_->Truncate(0);
+    if (st.ok()) st = file_->Sync();
+    if (!st.ok()) {
+      // A failed truncate/sync leaves the on-disk log in an unknown state;
+      // durability can no longer be promised.
+      if (mgr_ != nullptr) mgr_->EnterFailStop(st);
+      return st;
+    }
     flushed_lsn_.store(appended_lsn_.load(std::memory_order_relaxed),
                        std::memory_order_release);
     flushed_gsn_.store(appended_gsn_.load(std::memory_order_relaxed),
@@ -311,6 +345,15 @@ void WalManager::FlusherMain(uint32_t flusher_id) {
       std::max<uint32_t>(1, options_.flusher_threads);
   uint64_t seen_kicks = 0;
   while (!stop_.load(std::memory_order_acquire)) {
+    if (fail_stopped()) {
+      // Nothing to flush ever again; park instead of hammering a dead
+      // device (wake promptly on shutdown).
+      std::unique_lock<std::mutex> lk(flusher_mu_);
+      flusher_cv_.wait_for(lk, std::chrono::milliseconds(10), [&] {
+        return stop_.load(std::memory_order_acquire);
+      });
+      continue;
+    }
     size_t wrote = 0;
     // Commit-priority pass: writers with buffered commit records first, so
     // a commit waits ~one flush instead of a full round over all writers
@@ -425,6 +468,9 @@ void WalManager::WaitCommitDurable(const Transaction* txn) {
   // Re-check under the lock: flushes publish durability before taking
   // remote_mu_ in WakeRemoteWaiters, so no wakeup can be lost.
   if (CommitDurable(txn)) return;
+  // Same protocol as WalWriter::WaitDurable: fail-stop raises its flag
+  // before sweeping remote_waiters_, so we either see it here or get swept.
+  if (fail_stopped()) return;
   remote_waiters_.push_back(&node);
   node.cv.wait(lk, [&] { return node.ready; });
 }
@@ -449,6 +495,41 @@ Status WalManager::TruncateAll() {
     PHOEBE_RETURN_IF_ERROR(w->TruncateAndReset());
   }
   return Status::OK();
+}
+
+Status WalManager::fail_stop_status() const {
+  std::lock_guard<std::mutex> lk(fail_mu_);
+  std::string msg = "WAL fail-stop: commits disabled";
+  if (!fail_status_.ok()) msg += " (" + fail_status_.ToString() + ")";
+  return Status::Unavailable(std::move(msg));
+}
+
+void WalManager::EnterFailStop(const Status& cause) {
+  {
+    std::lock_guard<std::mutex> lk(fail_mu_);
+    if (fail_status_.ok()) fail_status_ = cause;  // keep the first failure
+  }
+  fail_stopped_.store(true, std::memory_order_release);
+  // Sweep every parked commit waiter. Waiters re-check the fail-stop flag
+  // under their list mutex before parking, so raising the flag above and
+  // sweeping below leaves no thread asleep. Woken commits re-check
+  // CommitDurable and surface kUnavailable instead of acknowledging.
+  for (auto& w : writers_) {
+    std::lock_guard<std::mutex> lk(w->wait_mu_);
+    for (auto* node : w->wait_list_) {
+      node->ready = true;
+      node->cv.notify_one();
+    }
+    w->wait_list_.clear();
+  }
+  {
+    std::lock_guard<std::mutex> lk(remote_mu_);
+    for (auto* node : remote_waiters_) {
+      node->ready = true;
+      node->cv.notify_one();
+    }
+    remote_waiters_.clear();
+  }
 }
 
 }  // namespace phoebe

@@ -267,6 +267,29 @@ class WalManager {
     sync_enabled_.store(on, std::memory_order_relaxed);
   }
 
+  /// --- Fail-stop (graceful degradation on log-device failure) -------------
+  ///
+  /// A WAL append or fsync failure means durability can no longer be
+  /// promised, and a once-failed fsync must never be trusted to have made
+  /// earlier bytes durable ("fsync-gate"). The manager therefore goes
+  /// fail-stop: the failing flush wakes every parked commit waiter, no
+  /// later commit can become durable, and Database::Commit rejects with
+  /// kUnavailable. Commits that were already durable before the failure may
+  /// still acknowledge — their bytes are on disk. Recovery after reopen
+  /// decides the fate of everything else.
+
+  /// True once a WAL append/sync failure disabled commits.
+  bool fail_stopped() const {
+    return fail_stopped_.load(std::memory_order_acquire);
+  }
+  /// kUnavailable wrapping the first failure; kOk-based message if somehow
+  /// called before any failure.
+  Status fail_stop_status() const;
+  /// Records `cause`, raises the fail-stop flag, and wakes every parked
+  /// durable/remote commit waiter so none sleeps forever on a flush that
+  /// will never happen.
+  void EnterFailStop(const Status& cause);
+
  private:
   friend class WalWriter;
 
@@ -291,6 +314,9 @@ class WalManager {
 
   Options options_;
   std::atomic<bool> sync_enabled_{true};
+  std::atomic<bool> fail_stopped_{false};
+  mutable std::mutex fail_mu_;
+  Status fail_status_;  // first failure; guarded by fail_mu_
   std::vector<std::unique_ptr<WalWriter>> writers_;
   std::vector<std::thread> flushers_;
   std::atomic<bool> stop_{false};
