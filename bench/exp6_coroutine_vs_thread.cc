@@ -30,6 +30,8 @@ int main(int argc, char** argv) {
     coro_tpm = r.tpm;
     printf("%-12s %-12.0f %-12.0f %-10llu\n", "coroutine", r.tpmc, r.tpm,
            static_cast<unsigned long long>(r.user_aborts + r.sys_aborts));
+    printf("#SCHED workers=%u tpmC=%.0f tpm=%.0f %s\n", workers, r.tpmc,
+           r.tpm, r.sched.ToString().c_str());
     fflush(stdout);
   }
   {

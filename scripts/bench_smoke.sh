@@ -1,0 +1,51 @@
+#!/usr/bin/env bash
+# Scheduler/perf smoke: runs a short TPC-C burst at 1, 4, and 8 workers and
+# emits BENCH_sched.json with tpmC plus the per-point scheduler dispatch
+# counters (steals, parks, queue high-water). Future PRs diff this file to
+# see the perf trajectory of the dispatch layer. Usage:
+#   scripts/bench_smoke.sh [seconds-per-point] [output.json]
+set -eu
+
+cd "$(dirname "$0")/.."
+
+SECONDS_PER_POINT="${1:-2}"
+OUT="${2:-BENCH_sched.json}"
+BUILD_DIR="${BUILD_DIR:-build}"
+
+cmake -B "$BUILD_DIR" -S . >/dev/null
+cmake --build "$BUILD_DIR" -j "$(nproc)" --target exp2_scalability >/dev/null
+
+RAW=$("$BUILD_DIR/bench/exp2_scalability" \
+  --sweep=1,4,8 \
+  --seconds="$SECONDS_PER_POINT" \
+  --warmup=0.5 \
+  --warehouses=4)
+echo "$RAW"
+
+# Each point prints one machine-parseable line:
+#   #SCHED workers=N tpmC=... tpm=... submitted=... pulled=... stolen=...
+#   steal_fails=... parks=... spurious=... qhwm=...
+echo "$RAW" | awk -v secs="$SECONDS_PER_POINT" '
+  BEGIN { n = 0 }
+  /^#SCHED / {
+    line = ""
+    for (i = 2; i <= NF; ++i) {
+      split($i, kv, "=")
+      v = kv[2]
+      line = line sprintf("%s\"%s\": %s", (line == "" ? "" : ", "), kv[1], v)
+    }
+    points[n++] = "    {" line "}"
+  }
+  END {
+    printf "{\n"
+    printf "  \"bench\": \"tpcc_sched_smoke\",\n"
+    printf "  \"seconds_per_point\": %s,\n", secs
+    printf "  \"points\": [\n"
+    for (i = 0; i < n; ++i) {
+      printf "%s%s\n", points[i], (i + 1 < n ? "," : "")
+    }
+    printf "  ]\n}\n"
+  }
+' > "$OUT"
+
+echo "wrote $OUT"

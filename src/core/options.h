@@ -51,6 +51,9 @@ struct DatabaseOptions {
   uint32_t freeze_access_threshold = 2;  // accesses/epoch below -> freezable
   uint32_t freeze_epoch_age = 4;         // epochs untouched before freezing
   uint64_t warm_read_threshold = 64;     // frozen block reads before warming
+  /// Total decoded-block cache capacity per frozen store (spread over the
+  /// cache's internal shards; the scan paths bypass it).
+  uint32_t frozen_cache_blocks = 64;
 
   /// Exp 9 O-DB stand-in: cap data-file bandwidth (bytes/s; 0 = off).
   uint64_t io_bandwidth_limit = 0;

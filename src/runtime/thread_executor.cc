@@ -37,6 +37,36 @@ void ThreadExecutor::Submit(TaskFn fn) {
   cv_.notify_one();
 }
 
+bool ThreadExecutor::TrySubmit(TaskFn fn) {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (stopping_ || queue_.size() >= 2ull * options_.threads) return false;
+  queue_.push_back(std::move(fn));
+  cv_.notify_one();
+  return true;
+}
+
+void ThreadExecutor::SubmitBatch(std::vector<TaskFn> fns) {
+  const uint64_t cap = 2ull * options_.threads;
+  size_t i = 0;
+  while (i < fns.size()) {
+    size_t pushed = 0;
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      space_cv_.wait(lk, [&] { return stopping_ || queue_.size() < cap; });
+      if (stopping_) return;
+      while (i < fns.size() && queue_.size() < cap) {
+        queue_.push_back(std::move(fns[i++]));
+        ++pushed;
+      }
+    }
+    if (pushed > 1) {
+      cv_.notify_all();
+    } else if (pushed == 1) {
+      cv_.notify_one();
+    }
+  }
+}
+
 void ThreadExecutor::ThreadMain(uint32_t id) {
 #ifdef __linux__
   if (options_.pin_threads) {

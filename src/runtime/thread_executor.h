@@ -14,8 +14,10 @@ namespace phoebe {
 
 /// Thread execution model used as the Exp 6 baseline: one OS thread per task
 /// slot, each transaction running to completion with blocking waits
-/// (synchronous OpContext). Same TaskFn interface as Scheduler, so the TPC-C
-/// driver can switch models with a flag.
+/// (synchronous OpContext). Same submit API as Scheduler (Submit, TrySubmit,
+/// SubmitBatch), so the TPC-C driver can switch models with a flag. The
+/// single mutex-protected queue is intentional: it *is* the centralized
+/// baseline the decentralized scheduler is measured against.
 class ThreadExecutor {
  public:
   struct Options {
@@ -30,6 +32,11 @@ class ThreadExecutor {
   void Stop();
 
   void Submit(TaskFn fn);
+  /// Non-blocking submit; false when the queue is saturated or stopping.
+  bool TrySubmit(TaskFn fn);
+  /// Enqueues a batch under one lock with one wakeup; blocks on
+  /// backpressure until the whole batch is queued (or Stop()).
+  void SubmitBatch(std::vector<TaskFn> fns);
 
   uint64_t completed() const {
     return completed_.load(std::memory_order_relaxed);

@@ -29,8 +29,9 @@ constexpr size_t kManifestRecordSize = 8 + 4 + 8 + 8 + 8 + 4;
 
 Result<std::unique_ptr<FrozenStore>> FrozenStore::Open(
     Env* env, const std::string& dir, const std::string& name,
-    const Schema* schema) {
-  std::unique_ptr<FrozenStore> store(new FrozenStore(env, dir, name, schema));
+    const Schema* schema, size_t cache_blocks) {
+  std::unique_ptr<FrozenStore> store(
+      new FrozenStore(env, dir, name, schema, cache_blocks));
   Env::OpenOptions opts;
   Status st = env->OpenFile(BlockPath(dir, name), opts, &store->block_file_);
   if (!st.ok()) return Result<std::unique_ptr<FrozenStore>>(st);
@@ -163,12 +164,8 @@ FrozenStore::GetBlockLocked(RowId rid, BlockMeta** meta_out) {
   if (rid < meta.first || rid > meta.last) return R(Status::NotFound());
   if (meta_out != nullptr) *meta_out = &meta;
 
-  for (auto c = cache_.begin(); c != cache_.end(); ++c) {
-    if (c->first == meta.first) {
-      auto block = c->second;
-      cache_.splice(cache_.begin(), cache_, c);  // move to front
-      return R(std::move(block));
-    }
+  if (auto cached = CacheLookup(meta.first)) {
+    return R(std::move(cached));
   }
   std::string buf(meta.size, '\0');
   // Transient read errors are retried; a genuinely short read (truncated
@@ -199,9 +196,33 @@ FrozenStore::GetBlockLocked(RowId rid, BlockMeta** meta_out) {
   if (!decoded.ok()) return R(decoded.status());
   auto block = std::make_shared<FrozenBlockCodec::DecodedBlock>(
       std::move(decoded.value()));
-  cache_.emplace_front(meta.first, block);
-  if (cache_.size() > kCacheBlocks) cache_.pop_back();
+  CacheInsert(meta.first, block);
   return R(std::move(block));
+}
+
+std::shared_ptr<FrozenBlockCodec::DecodedBlock> FrozenStore::CacheLookup(
+    RowId first) {
+  CacheShard& shard = cache_shards_[ShardOf(first)];
+  std::lock_guard<std::mutex> lk(shard.mu);
+  for (auto c = shard.lru.begin(); c != shard.lru.end(); ++c) {
+    if (c->first == first) {
+      auto block = c->second;
+      shard.lru.splice(shard.lru.begin(), shard.lru, c);  // move to front
+      return block;
+    }
+  }
+  return nullptr;
+}
+
+void FrozenStore::CacheInsert(
+    RowId first, std::shared_ptr<FrozenBlockCodec::DecodedBlock> block) {
+  CacheShard& shard = cache_shards_[ShardOf(first)];
+  std::lock_guard<std::mutex> lk(shard.mu);
+  for (const auto& entry : shard.lru) {
+    if (entry.first == first) return;  // raced with another reader
+  }
+  shard.lru.emplace_front(first, std::move(block));
+  if (shard.lru.size() > cache_per_shard_) shard.lru.pop_back();
 }
 
 Status FrozenStore::ReadRow(RowId rid, std::string* row_out) {

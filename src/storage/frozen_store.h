@@ -1,6 +1,8 @@
 #ifndef PHOEBE_STORAGE_FROZEN_STORE_H_
 #define PHOEBE_STORAGE_FROZEN_STORE_H_
 
+#include <algorithm>
+#include <array>
 #include <functional>
 #include <list>
 #include <map>
@@ -25,15 +27,19 @@ namespace phoebe {
 ///   - a manifest (append-only) so blocks are discoverable after restart,
 ///   - a tombstone set for frozen rows that were deleted or warmed
 ///     (out-of-place updates: frozen data is never rewritten),
-///   - a small LRU cache of decoded blocks,
+///   - a decoded-block LRU cache sharded by block id so concurrent cold
+///     reads of different blocks don't serialize on one cache mutex,
 ///   - per-block read counters driving read-warming decisions.
 class FrozenStore {
  public:
   /// Opens (or creates) the store under `dir` with file stem `name`.
+  /// `cache_blocks` is the total decoded-block cache capacity across all
+  /// shards (DatabaseOptions::frozen_cache_blocks).
   static Result<std::unique_ptr<FrozenStore>> Open(Env* env,
                                                    const std::string& dir,
                                                    const std::string& name,
-                                                   const Schema* schema);
+                                                   const Schema* schema,
+                                                   size_t cache_blocks = 64);
 
   /// Appends a block of frozen rows (sorted, strictly increasing ids all
   /// greater than max_frozen_row_id) and durably records it in the manifest.
@@ -93,17 +99,24 @@ class FrozenStore {
   };
 
   FrozenStore(Env* env, std::string dir, std::string name,
-              const Schema* schema)
+              const Schema* schema, size_t cache_blocks)
       : env_(env), dir_(std::move(dir)), name_(std::move(name)),
-        schema_(schema) {}
+        schema_(schema),
+        cache_per_shard_(std::max<size_t>(1, cache_blocks / kCacheShards)) {}
 
   Status LoadManifest();
   Status LoadTombstones();
 
   /// Returns the decoded block containing `rid` (nullptr if none). Caller
-  /// holds mu_.
+  /// holds mu_; the cache shard lock nests inside mu_.
   Result<std::shared_ptr<FrozenBlockCodec::DecodedBlock>> GetBlockLocked(
       RowId rid, BlockMeta** meta_out);
+
+  /// Decoded-block cache, sharded by block first-row-id hash. Lookup moves
+  /// the hit to the shard's LRU front; insert evicts the shard's tail.
+  std::shared_ptr<FrozenBlockCodec::DecodedBlock> CacheLookup(RowId first);
+  void CacheInsert(RowId first,
+                   std::shared_ptr<FrozenBlockCodec::DecodedBlock> block);
 
   Env* env_;
   std::string dir_;
@@ -118,10 +131,22 @@ class FrozenStore {
   std::unordered_set<RowId> tombstones_;
   RowId max_frozen_row_id_ = 0;
 
-  /// Tiny decoded-block LRU keyed by block first-row-id.
-  static constexpr size_t kCacheBlocks = 8;
-  std::list<std::pair<RowId, std::shared_ptr<FrozenBlockCodec::DecodedBlock>>>
-      cache_;
+  /// Decoded-block LRU keyed by block first-row-id, sharded so concurrent
+  /// readers of different blocks contend on different mutexes. The scan
+  /// paths (ScanColumn*) bypass the cache entirely and read extents
+  /// directly, so a table scan cannot wipe the point-read working set.
+  static constexpr size_t kCacheShards = 8;
+  struct CacheShard {
+    std::mutex mu;
+    std::list<
+        std::pair<RowId, std::shared_ptr<FrozenBlockCodec::DecodedBlock>>>
+        lru;
+  };
+  static size_t ShardOf(RowId first) {
+    return static_cast<size_t>((first * 0x9E3779B97F4A7C15ull) >> 61);
+  }
+  const size_t cache_per_shard_;
+  std::array<CacheShard, kCacheShards> cache_shards_;
 };
 
 }  // namespace phoebe

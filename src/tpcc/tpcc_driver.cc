@@ -3,6 +3,7 @@
 #include <cmath>
 #include <cstdio>
 #include <map>
+#include <type_traits>
 
 #include "common/clock.h"
 #include "io/io_stats.h"
@@ -91,6 +92,24 @@ std::string DriverResult::Summary() const {
            static_cast<unsigned long long>(sys_aborts), wal_mb_per_s,
            seconds);
   std::string out = buf;
+  // Per-worker scheduler dispatch counters (coroutine model): shows how
+  // much of the load each shard pulled locally vs. stole, and how often
+  // workers parked.
+  if (!sched_per_worker.empty()) {
+    out += "\nsched: " + sched.ToString();
+    for (size_t w = 0; w < sched_per_worker.size(); ++w) {
+      const SchedulerStats& s = sched_per_worker[w];
+      snprintf(buf, sizeof(buf),
+               "\n  w%zu: pulled=%llu stolen=%llu steal_fails=%llu "
+               "parks=%llu qhwm=%llu",
+               w, static_cast<unsigned long long>(s.pulled),
+               static_cast<unsigned long long>(s.stolen),
+               static_cast<unsigned long long>(s.steal_fail_probes),
+               static_cast<unsigned long long>(s.parks),
+               static_cast<unsigned long long>(s.queue_depth_hwm));
+      out += buf;
+    }
+  }
   // Surface graceful-degradation events (I/O retries, CRC re-reads,
   // quarantines, WAL sync failures); empty on a healthy run.
   std::string degradation = IoStats::Global().DegradationString();
@@ -110,14 +129,24 @@ DriverResult RunTpcc(Workload* w, const DriverConfig& config) {
   auto run_with = [&](auto& executor) {
     executor.Start();
 
-    // Feeder thread: keeps the global task queue supplied.
+    // Feeder thread: keeps the run queues supplied. Tasks are submitted in
+    // batches so the scheduler pays one shard lock + one wakeup per batch
+    // instead of per task.
     std::thread feeder([&] {
+      constexpr size_t kFeedBatch = 8;
       TpccRandom rnd(config.seed);
+      std::vector<TaskFn> batch;
       while (!stop_feeding.load(std::memory_order_acquire)) {
-        TxnType type = PickType(&rnd, config);
-        int32_t w_id =
-            static_cast<int32_t>(rnd.Uniform(1, w->scale.warehouses));
-        executor.Submit(MakeTask(w, config, type, w_id));
+        batch.clear();
+        batch.reserve(kFeedBatch);
+        for (size_t i = 0; i < kFeedBatch; ++i) {
+          TxnType type = PickType(&rnd, config);
+          int32_t w_id =
+              static_cast<int32_t>(rnd.Uniform(1, w->scale.warehouses));
+          batch.push_back(MakeTask(w, config, type, w_id));
+        }
+        executor.SubmitBatch(std::move(batch));
+        batch = std::vector<TaskFn>();
       }
     });
 
@@ -158,6 +187,12 @@ DriverResult RunTpcc(Workload* w, const DriverConfig& config) {
     stop_feeding.store(true, std::memory_order_release);
     executor.Stop();
     feeder.join();
+
+    if constexpr (std::is_same_v<std::decay_t<decltype(executor)>,
+                                 Scheduler>) {
+      result.sched_per_worker = executor.PerWorkerStats();
+      result.sched = executor.TotalStats();
+    }
 
     result.seconds = end.at - start.at;
     result.commits = end.commits - start.commits;

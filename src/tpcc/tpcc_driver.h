@@ -53,6 +53,11 @@ struct DriverResult {
   double avg_commit_wait_us = 0;
   std::vector<SeriesPoint> series;
 
+  /// Scheduler dispatch counters (coroutine model only; empty per-worker
+  /// vector in the thread model).
+  SchedulerStats sched;
+  std::vector<SchedulerStats> sched_per_worker;
+
   std::string Summary() const;
 };
 
