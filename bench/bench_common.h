@@ -145,6 +145,14 @@ inline DatabaseOptions DefaultOptions(const Flags& flags) {
       static_cast<uint64_t>(flags.Int("buffer-mb", 256)) << 20;
   opts.wal_sync = flags.Bool("wal-sync", true);
   opts.aux_slots = static_cast<uint32_t>(flags.Int("aux-slots", 8));
+  // Background checkpointer triggers (0 = disabled, the default: checkpoint
+  // only at Close). E.g. --checkpoint-wal-mb=64 --checkpoint-interval-ms=5000.
+  opts.checkpoint_wal_bytes =
+      static_cast<uint64_t>(flags.Int("checkpoint-wal-mb", 0)) << 20;
+  opts.checkpoint_interval_ms =
+      static_cast<uint64_t>(flags.Int("checkpoint-interval-ms", 0));
+  opts.checkpoint_quiesce_timeout_ms =
+      static_cast<uint64_t>(flags.Int("checkpoint-quiesce-ms", 100));
   return opts;
 }
 
@@ -155,6 +163,7 @@ inline tpcc::DriverConfig DefaultDriver(const Flags& flags) {
   cfg.affinity = flags.Bool("affinity", true);
   cfg.pin_workers = flags.Bool("pin", false);
   cfg.seed = static_cast<uint64_t>(flags.Int("seed", 42));
+  cfg.max_retries = static_cast<uint32_t>(flags.Int("max-retries", 5));
   return cfg;
 }
 

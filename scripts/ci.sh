@@ -1,0 +1,40 @@
+#!/usr/bin/env bash
+# Tier-1 CI entry point: release build + full ctest suite, then (optionally)
+# the sanitizer smoke suites. Mirrors what .github/workflows/ci.yml runs so
+# a local `scripts/ci.sh` reproduces CI exactly. Usage:
+#   scripts/ci.sh              # tier-1: configure, build, ctest
+#   scripts/ci.sh --asan       # tier-1 + ASan/UBSan suite
+#   scripts/ci.sh --tsan       # tier-1 + TSan suite
+#   scripts/ci.sh --sanitizers # tier-1 + both sanitizer suites
+set -eu
+
+cd "$(dirname "$0")/.."
+
+run_asan=0
+run_tsan=0
+for arg in "$@"; do
+  case "$arg" in
+    --asan) run_asan=1 ;;
+    --tsan) run_tsan=1 ;;
+    --sanitizers) run_asan=1; run_tsan=1 ;;
+    *) echo "unknown argument: $arg" >&2; exit 2 ;;
+  esac
+done
+
+echo "===== tier-1: configure + build ====="
+cmake -B build -S .
+cmake --build build -j "$(nproc)"
+
+echo "===== tier-1: ctest ====="
+(cd build && ctest --output-on-failure -j "$(nproc)")
+
+if [ "$run_asan" = 1 ]; then
+  echo "===== sanitizer smoke: asan ====="
+  scripts/run_asan.sh
+fi
+if [ "$run_tsan" = 1 ]; then
+  echo "===== sanitizer smoke: tsan ====="
+  scripts/run_tsan.sh
+fi
+
+echo "===== ci: all suites passed ====="

@@ -7,7 +7,7 @@ set -eu
 
 cd "$(dirname "$0")/.."
 
-TESTS=(wal_test wal_pipeline_stress_test recovery_property_test mvcc_stress_test fault_env_test crash_torture_test scheduler_stress_test)
+TESTS=(wal_test wal_pipeline_stress_test recovery_property_test checkpoint_test mvcc_stress_test fault_env_test crash_torture_test scheduler_stress_test)
 
 cmake --preset tsan
 cmake --build --preset tsan -j "$(nproc)" --target "${TESTS[@]}"

@@ -14,9 +14,17 @@ std::string CatalogPath(const std::string& dir) { return dir + "/CATALOG"; }
 
 Status Catalog::Save(Env* env, const std::string& dir,
                      const CatalogData& data) {
+  PHOEBE_RETURN_IF_ERROR(SaveTmp(env, dir, data));
+  return CommitTmp(env, dir);
+}
+
+Status Catalog::SaveTmp(Env* env, const std::string& dir,
+                        const CatalogData& data) {
   std::string out;
   PutFixed32(&out, kCatalogMagic);
   out.push_back(data.clean ? 1 : 0);
+  PutVarint64(&out, data.checkpoint_gsn);
+  PutVarint64(&out, data.checkpoint_ts);
   PutVarint32(&out, data.next_relation_id);
   PutVarint32(&out, static_cast<uint32_t>(data.tables.size()));
   for (const auto& t : data.tables) {
@@ -50,7 +58,14 @@ Status Catalog::Save(Env* env, const std::string& dir,
     PHOEBE_RETURN_IF_ERROR(f->Write(0, out));
     PHOEBE_RETURN_IF_ERROR(f->Sync());
   }
-  return env->Rename(tmp, CatalogPath(dir));
+  return Status::OK();
+}
+
+Status Catalog::CommitTmp(Env* env, const std::string& dir) {
+  PHOEBE_RETURN_IF_ERROR(env->Rename(CatalogPath(dir) + ".tmp",
+                                     CatalogPath(dir)));
+  // The rename is only durable once the directory's metadata is on disk.
+  return env->SyncDir(dir);
 }
 
 Result<CatalogData> Catalog::Load(Env* env, const std::string& dir) {
@@ -81,7 +96,9 @@ Result<CatalogData> Catalog::Load(Env* env, const std::string& dir) {
   data.clean = in[0] != 0;
   in.remove_prefix(1);
   uint32_t ntables = 0, nindexes = 0;
-  if (!GetVarint32(&in, &data.next_relation_id) ||
+  if (!GetVarint64(&in, &data.checkpoint_gsn) ||
+      !GetVarint64(&in, &data.checkpoint_ts) ||
+      !GetVarint32(&in, &data.next_relation_id) ||
       !GetVarint32(&in, &ntables)) {
     return R(Status::Corruption("catalog header"));
   }

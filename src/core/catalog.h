@@ -38,6 +38,13 @@ struct CatalogData {
   };
 
   bool clean = false;
+  /// Checkpoint GSN watermark: every WAL record with gsn <= checkpoint_gsn
+  /// is already reflected in the checkpoint image this catalog describes.
+  /// Recovery skips them (only honored when clean).
+  uint64_t checkpoint_gsn = 0;
+  /// Clock value at the checkpoint cut; lower bound for the restarted
+  /// clock even when every WAL record is skipped by the watermark.
+  uint64_t checkpoint_ts = 0;
   RelationId next_relation_id = 1;
   std::vector<TableEntry> tables;
   std::vector<IndexEntry> indexes;
@@ -47,6 +54,16 @@ class Catalog {
  public:
   static Status Save(Env* env, const std::string& dir,
                      const CatalogData& data);
+
+  /// Two-phase save for the checkpointer, which needs a crash hook between
+  /// the durable temp write and the publishing rename. SaveTmp leaves
+  /// CATALOG.tmp synced on disk; CommitTmp renames it over CATALOG and
+  /// fsyncs the directory so the rename survives power loss. Save ==
+  /// SaveTmp + CommitTmp.
+  static Status SaveTmp(Env* env, const std::string& dir,
+                        const CatalogData& data);
+  static Status CommitTmp(Env* env, const std::string& dir);
+
   /// kNotFound when no catalog exists yet (fresh database).
   static Result<CatalogData> Load(Env* env, const std::string& dir);
 };

@@ -1,12 +1,22 @@
 #include "core/database.h"
 
 #include <algorithm>
+#include <chrono>
+#include <cstdio>
 
 #include "common/profiler.h"
 #include "txn/twin_table.h"
 #include "wal/recovery.h"
 
 namespace phoebe {
+
+namespace {
+double NowMs() {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+}  // namespace
 
 Database::Database(const DatabaseOptions& options)
     : options_(options),
@@ -21,10 +31,12 @@ Result<std::unique_ptr<Database>> Database::Open(
   if (!st.ok()) return Result<std::unique_ptr<Database>>(st);
   st = db->LoadCatalogAndRecover();
   if (!st.ok()) return Result<std::unique_ptr<Database>>(st);
+  db->StartCheckpointer();
   return Result<std::unique_ptr<Database>>(std::move(db));
 }
 
 Database::~Database() {
+  StopCheckpointer();
   // Best-effort clean shutdown; skip when initialization never completed
   // (e.g. the directory lock was held by another instance).
   if (!closed_ && txn_mgr_ != nullptr && wal_ != nullptr) {
@@ -201,17 +213,41 @@ Status Database::LoadCatalogAndRecover() {
     PHOEBE_RETURN_IF_ERROR(table->AddIndex(ie.name, ie.id, ie.key_columns,
                                            ie.unique, root));
   }
-  return RunRecovery();
+  if (cat.clean) {
+    // A durable checkpoint image now exists on disk: page frees must be
+    // deferred until the next catalog commit so the image stays intact if
+    // we crash again (including mid-replay).
+    data_file_->EnableDeferredFrees();
+  }
+  // The watermark is only trustworthy against a clean catalog; a stale or
+  // unclean one falls back to full replay.
+  uint64_t watermark = cat.clean ? cat.checkpoint_gsn : 0;
+  uint64_t ckpt_ts = cat.clean ? cat.checkpoint_ts : 0;
+  recovery_info_.used_checkpoint = cat.clean;
+  // GSN counters restart at zero with the process; without re-raising them
+  // past the watermark, records appended from now on would sit at or below
+  // it and the *next* recovery would silently skip committed work.
+  wal_->RaiseGsnFloor(watermark);
+  return RunRecovery(watermark, ckpt_ts);
 }
 
-Status Database::RunRecovery() {
+Status Database::RunRecovery(uint64_t watermark_gsn, uint64_t checkpoint_ts) {
+  double t0 = NowMs();
   Result<WalRecovery::ScanResult> scan =
-      WalRecovery::Scan(env_, options_.wal_dir);
+      WalRecovery::Scan(env_, options_.wal_dir, watermark_gsn);
   if (!scan.ok()) return scan.status();
   const auto& result = scan.value();
-  clock_.AdvanceTo(result.max_ts + 1);
+  // The clock restarts above everything ever observed: all WAL history
+  // (including watermark-skipped records) and the checkpoint cut itself.
+  clock_.AdvanceTo(std::max(result.max_ts, checkpoint_ts) + 1);
   recovery_info_.torn_tails = result.torn_tails;
-  if (result.records.empty()) return Status::OK();
+  recovery_info_.watermark_gsn = watermark_gsn;
+  recovery_info_.skipped_checkpointed = result.skipped_checkpointed;
+  recovery_info_.wal_bytes_scanned = result.bytes_scanned;
+  if (result.records.empty()) {
+    recovery_info_.elapsed_ms = NowMs() - t0;
+    return Status::OK();
+  }
 
   recovery_info_.ran = true;
   recovery_info_.committed_txns = result.commits.size();
@@ -243,9 +279,27 @@ Status Database::RunRecovery() {
         }
       });
   if (!st.ok()) return st;
+  recovery_info_.elapsed_ms = NowMs() - t0;
 
   // Make the recovered state durable and truncate the log.
   return CheckpointNow();
+}
+
+std::string Database::RecoveryInfo::ToLine() const {
+  char buf[256];
+  snprintf(buf, sizeof(buf),
+           "#RECOVERY ran=%d used_checkpoint=%d watermark=%llu replayed=%llu "
+           "skipped_ckpt=%llu skipped_uncommitted=%llu committed_txns=%llu "
+           "torn_tails=%llu wal_bytes=%llu elapsed_ms=%.2f",
+           ran ? 1 : 0, used_checkpoint ? 1 : 0,
+           static_cast<unsigned long long>(watermark_gsn),
+           static_cast<unsigned long long>(records_replayed),
+           static_cast<unsigned long long>(skipped_checkpointed),
+           static_cast<unsigned long long>(skipped_uncommitted),
+           static_cast<unsigned long long>(committed_txns),
+           static_cast<unsigned long long>(torn_tails),
+           static_cast<unsigned long long>(wal_bytes_scanned), elapsed_ms);
+  return buf;
 }
 
 // ---------------------------------------------------------------------------
@@ -429,15 +483,55 @@ Status Database::Abort(OpContext* ctx, Transaction* txn) {
 // Runtime wiring & maintenance
 // ---------------------------------------------------------------------------
 
+bool Database::EnterHook() {
+  std::lock_guard<std::mutex> lk(hooks_mu_);
+  if (hooks_paused_) return false;
+  ++hooks_inflight_;
+  return true;
+}
+
+void Database::ExitHook() {
+  {
+    std::lock_guard<std::mutex> lk(hooks_mu_);
+    --hooks_inflight_;
+  }
+  hooks_cv_.notify_all();
+}
+
+void Database::PauseHooks() {
+  std::unique_lock<std::mutex> lk(hooks_mu_);
+  hooks_paused_ = true;
+  hooks_cv_.wait(lk, [&] { return hooks_inflight_ == 0; });
+}
+
+void Database::ResumeHooks() {
+  {
+    std::lock_guard<std::mutex> lk(hooks_mu_);
+    hooks_paused_ = false;
+  }
+  hooks_cv_.notify_all();
+}
+
 Scheduler::Hooks Database::MakeSchedulerHooks() {
+  // Every hook passes the pause barrier: the checkpoint page walk mutates
+  // pages and swips latch-free, so eviction, GC reclaim, and freeze/warm
+  // sweeps must drain before it starts (a paused hook is simply skipped —
+  // housekeeping is periodic and catches up on the next tick).
   Scheduler::Hooks hooks;
   hooks.page_swap = [this](uint32_t worker_id, OpContext* ctx) {
+    if (!EnterHook()) return;
     if (pool_->NeedsEviction(worker_id)) {
       (void)registry_->EnsureFreeFrames(ctx, worker_id);
     }
+    ExitHook();
   };
-  hooks.run_gc = [this](uint32_t slot_id) { txn_mgr_->RunUndoGc(slot_id); };
+  hooks.run_gc = [this](uint32_t slot_id) {
+    if (!EnterHook()) return;
+    txn_mgr_->RunUndoGc(slot_id);
+    ExitHook();
+  };
   hooks.sweep = [this]() {
+    if (!EnterHook()) return;
     pool_->AdvanceEpoch();
     txn_mgr_->SweepTwinTables();
     if (options_.enable_freeze) {
@@ -450,23 +544,32 @@ Scheduler::Hooks Database::MakeSchedulerHooks() {
       }
       // Read-warming (Section 5.2 case 3): frozen blocks whose read count
       // crossed the threshold come back to hot storage under a maintenance
-      // transaction on the last aux slot.
+      // transaction on the last aux slot. BeginMaybe, not Begin: a hook
+      // blocked on the checkpoint admission gate would deadlock against
+      // PauseHooks waiting for this hook to finish.
       uint32_t slot = aux_slot(options_.aux_slots - 1);
       if (txn_mgr_->slot(slot).active_xid.load(std::memory_order_acquire) ==
           0) {
-        Transaction* txn = Begin(slot);
-        bool warmed_any = false;
-        for (auto& t : tables_) {
-          Status st = t->WarmPass(&ctx, txn, /*max_rows=*/256);
-          if (st.ok() && txn->undo_count() > 0) warmed_any = true;
-        }
-        if (warmed_any) {
-          (void)Commit(&ctx, txn);
-        } else {
-          (void)Abort(&ctx, txn);
+        Transaction* txn = txn_mgr_->BeginMaybe(slot, options_.default_isolation);
+        if (txn != nullptr) {
+          if (options_.baseline_pg_snapshot) {
+            PgSnapshot snap = pg_snapshots_->Take();
+            txn_mgr_->SetSnapshot(txn, snap.xmax);
+          }
+          bool warmed_any = false;
+          for (auto& t : tables_) {
+            Status st = t->WarmPass(&ctx, txn, /*max_rows=*/256);
+            if (st.ok() && txn->undo_count() > 0) warmed_any = true;
+          }
+          if (warmed_any) {
+            (void)Commit(&ctx, txn);
+          } else {
+            (void)Abort(&ctx, txn);
+          }
         }
       }
     }
+    ExitHook();
   };
   return hooks;
 }
@@ -481,19 +584,79 @@ void Database::DrainGc() {
   }
 }
 
+Status Database::CrashPoint(const char* point) {
+  if (ckpt_crash_hook_ && ckpt_crash_hook_(point)) {
+    return Status::Aborted(std::string("checkpoint crash hook: ") + point);
+  }
+  return Status::OK();
+}
+
 Status Database::CheckpointNow() {
-  // Quiescence guard: a checkpoint unswizzles and flushes every page, which
-  // is only safe with no transactions in flight and no pinned twin tables.
-  for (uint32_t i = 0; i < txn_mgr_->num_slots(); ++i) {
-    if (txn_mgr_->slot(i).active_xid.load(std::memory_order_acquire) != 0) {
-      return Status::Aborted("checkpoint requires quiescence: slot " +
-                             std::to_string(i) + " has an active txn");
-    }
-  }
-  if (txn_mgr_->TotalLiveUndo() != 0) {
-    return Status::Aborted(
+  // Quiescence guard: the caller must already be quiescent (kAborted
+  // otherwise) — RequestCheckpoint is the online variant that waits.
+  std::lock_guard<std::mutex> lk(ckpt_mu_);
+  txn_mgr_->BeginQuiesce();
+  Status st;
+  if (!txn_mgr_->AllSlotsIdle()) {
+    st = Status::Aborted(
+        "checkpoint requires quiescence: a slot has an active txn");
+  } else if (txn_mgr_->TotalLiveUndo() != 0) {
+    st = Status::Aborted(
         "checkpoint requires quiescence: run DrainGc() first");
+  } else {
+    st = CheckpointLocked();
   }
+  txn_mgr_->EndQuiesce();
+  return st;
+}
+
+Status Database::RequestCheckpoint() {
+  std::lock_guard<std::mutex> lk(ckpt_mu_);
+  ckpt_stats_.attempts.fetch_add(1, std::memory_order_relaxed);
+
+  // Bounded admission barrier: stall new Begins, wait for active slots and
+  // live undo to drain. On timeout, reopen the gate and report kAborted —
+  // the caller backs off; running transactions are never aborted.
+  txn_mgr_->BeginQuiesce();
+  double deadline =
+      NowMs() + static_cast<double>(options_.checkpoint_quiesce_timeout_ms);
+  while (!txn_mgr_->AllSlotsIdle() || txn_mgr_->TotalLiveUndo() != 0) {
+    if (txn_mgr_->AllSlotsIdle()) {
+      // Slots drained; the remaining live undo is ours to reclaim.
+      DrainGc();
+      if (txn_mgr_->TotalLiveUndo() == 0) break;
+    }
+    if (NowMs() >= deadline) {
+      txn_mgr_->EndQuiesce();
+      ckpt_stats_.quiesce_timeouts.fetch_add(1, std::memory_order_relaxed);
+      return Status::Aborted("checkpoint quiesce timeout");
+    }
+    std::this_thread::sleep_for(std::chrono::microseconds(200));
+  }
+
+  Status st = CheckpointLocked();
+  txn_mgr_->EndQuiesce();
+  if (st.ok()) {
+    ckpt_stats_.completed.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    ckpt_stats_.failures.fetch_add(1, std::memory_order_relaxed);
+  }
+  return st;
+}
+
+Status Database::CheckpointLocked() {
+  // The page walk mutates pages, swips, and the free list latch-free; no
+  // housekeeping hook (eviction, GC reclaim, freeze/warm sweep) may overlap.
+  PauseHooks();
+  struct HookResume {
+    Database* db;
+    ~HookResume() { db->ResumeHooks(); }
+  } resume{this};
+
+  // GSN cut: all records appended so far are <= cut; everything after the
+  // gate reopens is > cut. Recovery skips records at or below it.
+  Result<uint64_t> cut = wal_->QuiesceCut();
+  if (!cut.ok()) return cut.status();
 
   OpContext ctx;
   ctx.synchronous = true;
@@ -501,10 +664,13 @@ Status Database::CheckpointNow() {
 
   CatalogData data;
   data.clean = true;
+  data.checkpoint_gsn = cut.value();
+  data.checkpoint_ts = clock_.Current();
   data.next_relation_id = next_relation_id_;
   for (auto& t : tables_) {
     Result<PageId> root = t->Checkpoint(&ctx);
     if (!root.ok()) return root.status();
+    PHOEBE_RETURN_IF_ERROR(CrashPoint("mid_page_writes"));
     CatalogData::TableEntry e;
     e.name = t->name();
     e.id = t->id();
@@ -512,10 +678,15 @@ Status Database::CheckpointNow() {
     e.next_row_id = t->next_row_id();
     e.root = root.value();
     e.max_frozen_row_id = t->frozen()->max_frozen_row_id();
+    // kNotFound legitimately means "no frozen state yet" (length 0); a real
+    // stat failure must abort the checkpoint — recording 0 for a file that
+    // exists would truncate valid frozen history on the next open.
     Result<uint64_t> mlen =
         env_->FileSize(options_.path + "/" + t->name() + ".manifest");
+    if (!mlen.ok() && !mlen.status().IsNotFound()) return mlen.status();
     Result<uint64_t> blen =
         env_->FileSize(options_.path + "/" + t->name() + ".blocks");
+    if (!blen.ok() && !blen.status().IsNotFound()) return blen.status();
     e.frozen_manifest_len = mlen.ok() ? mlen.value() : 0;
     e.frozen_blocks_len = blen.ok() ? blen.value() : 0;
     for (size_t i = 0; i < t->num_indexes(); ++i) {
@@ -533,8 +704,32 @@ Status Database::CheckpointNow() {
     }
     data.tables.push_back(std::move(e));
   }
-  PHOEBE_RETURN_IF_ERROR(Catalog::Save(env_, options_.path, data));
-  return wal_->TruncateAll();
+  PHOEBE_RETURN_IF_ERROR(data_file_->Sync());
+  PHOEBE_RETURN_IF_ERROR(CrashPoint("after_page_writes"));
+
+  // Publication order is the crash-safety spine:
+  //   1. synced temp catalog      (crash -> old catalog + full WAL: replay)
+  //   2. rename + dir fsync       (crash -> new catalog + stale WAL: the
+  //                                watermark skips records <= cut)
+  //   3. WAL truncation           (crash -> new catalog + empty WAL)
+  // Every window recovers; see DESIGN.md §4f.
+  PHOEBE_RETURN_IF_ERROR(Catalog::SaveTmp(env_, options_.path, data));
+  PHOEBE_RETURN_IF_ERROR(CrashPoint("before_catalog_rename"));
+  PHOEBE_RETURN_IF_ERROR(Catalog::CommitTmp(env_, options_.path));
+  // The rename is the commit point: a durable image exists from this very
+  // instant, so deferral must start here — not at the end of the attempt.
+  // If WAL truncation fails below, an eager free could otherwise recycle a
+  // page the just-published catalog references.
+  data_file_->EnableDeferredFrees();
+  PHOEBE_RETURN_IF_ERROR(CrashPoint("before_wal_truncate"));
+  PHOEBE_RETURN_IF_ERROR(wal_->TruncateAll());
+  PHOEBE_RETURN_IF_ERROR(CrashPoint("after_wal_truncate"));
+
+  // The new catalog no longer references the pages relocated by this walk:
+  // their ids may now be recycled.
+  data_file_->PublishFrees();
+  ckpt_stats_.last_watermark.store(cut.value(), std::memory_order_relaxed);
+  return Status::OK();
 }
 
 Database::Stats Database::GetStats() const {
@@ -579,6 +774,7 @@ std::string Database::GetStatsString() const {
 
 Status Database::Close() {
   if (closed_) return Status::OK();
+  StopCheckpointer();
   DrainGc();
   Status st = CheckpointNow();
   closed_ = true;
@@ -587,6 +783,77 @@ Status Database::Close() {
     lock_handle_ = -1;
   }
   return st;
+}
+
+void Database::TEST_SimulateCrash() {
+  StopCheckpointer();
+  closed_ = true;
+  if (lock_handle_ >= 0) {
+    env_->UnlockFile(lock_handle_);
+    lock_handle_ = -1;
+  }
+}
+
+void Database::StartCheckpointer() {
+  if (options_.checkpoint_wal_bytes == 0 && options_.checkpoint_interval_ms == 0) {
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lk(ckpt_thread_mu_);
+    ckpt_stop_ = false;
+  }
+  checkpointer_ = std::thread([this] { CheckpointerLoop(); });
+}
+
+void Database::StopCheckpointer() {
+  {
+    std::lock_guard<std::mutex> lk(ckpt_thread_mu_);
+    ckpt_stop_ = true;
+  }
+  ckpt_thread_cv_.notify_all();
+  if (checkpointer_.joinable()) checkpointer_.join();
+}
+
+void Database::CheckpointerLoop() {
+  // Baseline = WAL bytes at the last successful checkpoint; the byte trigger
+  // fires on the delta since then. Quiesce timeouts back off exponentially
+  // so a long-running transaction is never hammered with admission stalls.
+  uint64_t baseline_bytes = wal_->TotalBytesFlushed();
+  double last_success = NowMs();
+  double backoff_ms = 0.0;
+  double next_eligible = 0.0;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lk(ckpt_thread_mu_);
+      ckpt_thread_cv_.wait_for(lk, std::chrono::milliseconds(10),
+                               [&] { return ckpt_stop_; });
+      if (ckpt_stop_) return;
+    }
+    double now = NowMs();
+    if (now < next_eligible) continue;
+    uint64_t appended = wal_->TotalBytesFlushed();
+    bool bytes_due = options_.checkpoint_wal_bytes != 0 &&
+                     appended - baseline_bytes >= options_.checkpoint_wal_bytes;
+    bool time_due =
+        options_.checkpoint_interval_ms != 0 &&
+        now - last_success >=
+            static_cast<double>(options_.checkpoint_interval_ms);
+    if (!bytes_due && !time_due) continue;
+
+    Status st = RequestCheckpoint();
+    if (st.ok()) {
+      baseline_bytes = wal_->TotalBytesFlushed();
+      last_success = NowMs();
+      backoff_ms = 0.0;
+      next_eligible = 0.0;
+    } else if (st.IsUnavailable()) {
+      // Fail-stopped engine: nothing further can succeed.
+      return;
+    } else {
+      backoff_ms = backoff_ms == 0.0 ? 10.0 : std::min(backoff_ms * 2, 2000.0);
+      next_eligible = NowMs() + backoff_ms;
+    }
+  }
 }
 
 }  // namespace phoebe

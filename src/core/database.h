@@ -1,10 +1,14 @@
 #ifndef PHOEBE_CORE_DATABASE_H_
 #define PHOEBE_CORE_DATABASE_H_
 
+#include <atomic>
+#include <condition_variable>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "baseline/pg_snapshot.h"
@@ -86,8 +90,36 @@ class Database {
   /// --- Maintenance ------------------------------------------------------------
 
   /// Quiesced checkpoint: flushes everything, records roots in the catalog,
-  /// truncates the WAL. No transactions may be active.
+  /// truncates the WAL. No transactions may be active (kAborted otherwise —
+  /// use RequestCheckpoint for an online checkpoint that waits).
   Status CheckpointNow();
+
+  /// Online checkpoint attempt: closes the transaction admission gate,
+  /// waits up to checkpoint_quiesce_timeout_ms for active transactions and
+  /// live undo to drain, then checkpoints and reopens the gate. kAborted on
+  /// quiesce timeout (the caller backs off and retries; the workload is
+  /// never aborted on the checkpoint's behalf).
+  Status RequestCheckpoint();
+
+  /// Counters for the background checkpointer (readable while it runs).
+  struct CheckpointStats {
+    std::atomic<uint64_t> attempts{0};
+    std::atomic<uint64_t> completed{0};
+    std::atomic<uint64_t> quiesce_timeouts{0};
+    std::atomic<uint64_t> failures{0};
+    /// GSN watermark of the last completed checkpoint.
+    std::atomic<uint64_t> last_watermark{0};
+  };
+  const CheckpointStats& checkpoint_stats() const { return ckpt_stats_; }
+
+  /// Test-only: invoked at named points inside the checkpoint body
+  /// ("mid_page_writes", "after_page_writes", "before_catalog_rename",
+  /// "before_wal_truncate", "after_wal_truncate"). Returning true aborts
+  /// the checkpoint at that instant — the torture harness then simulates a
+  /// crash and asserts recovery from exactly that on-disk state.
+  void TEST_SetCheckpointCrashHook(std::function<bool(const char*)> hook) {
+    ckpt_crash_hook_ = std::move(hook);
+  }
 
   /// Runs GC to completion across all slots (quiesced).
   void DrainGc();
@@ -95,17 +127,12 @@ class Database {
   /// Clean shutdown: DrainGc + CheckpointNow.
   Status Close();
 
-  /// Test-only crash simulation: releases the directory lock and suppresses
-  /// the destructor's clean shutdown, leaving all on-disk state exactly as a
-  /// real crash would (WAL un-truncated, no checkpoint). The object must be
-  /// leaked afterwards (its threads stay alive).
-  void TEST_SimulateCrash() {
-    closed_ = true;
-    if (lock_handle_ >= 0) {
-      env_->UnlockFile(lock_handle_);
-      lock_handle_ = -1;
-    }
-  }
+  /// Test-only crash simulation: stops the background checkpointer,
+  /// releases the directory lock and suppresses the destructor's clean
+  /// shutdown, leaving all on-disk state exactly as a real crash would
+  /// (WAL un-truncated, no checkpoint). The object must be leaked
+  /// afterwards (its threads stay alive).
+  void TEST_SimulateCrash();
 
   /// --- Components ------------------------------------------------------------
 
@@ -140,6 +167,17 @@ class Database {
     uint64_t skipped_uncommitted = 0;
     /// WAL files whose tail was torn by the crash (clean prefix recovered).
     uint64_t torn_tails = 0;
+    /// True when a clean checkpoint image bounded the replay.
+    bool used_checkpoint = false;
+    /// Checkpoint GSN watermark applied to the scan (0 = full replay).
+    uint64_t watermark_gsn = 0;
+    /// Records below the watermark, already in the checkpoint image.
+    uint64_t skipped_checkpointed = 0;
+    uint64_t wal_bytes_scanned = 0;
+    double elapsed_ms = 0.0;
+
+    /// One-line diagnostic ("#RECOVERY ...") for benches and logs.
+    std::string ToLine() const;
   };
   const RecoveryInfo& recovery_info() const { return recovery_info_; }
 
@@ -149,7 +187,26 @@ class Database {
   Status Init();
   Status LoadCatalogAndRecover();
   Status PersistCatalog(bool clean);
-  Status RunRecovery();
+  Status RunRecovery(uint64_t watermark_gsn, uint64_t checkpoint_ts);
+
+  /// Checkpoint body. Caller holds ckpt_mu_ and has quiesced the system
+  /// (admission gate closed, all slots idle, no live undo). Pauses the
+  /// scheduler hooks for the duration of the page walk.
+  Status CheckpointLocked();
+
+  /// Returns non-OK when the test crash hook fires at `point`.
+  Status CrashPoint(const char* point);
+
+  /// Scheduler-hook pause barrier: the checkpoint walk mutates pages and
+  /// swips latch-free, so no housekeeping hook may run concurrently.
+  bool EnterHook();
+  void ExitHook();
+  void PauseHooks();
+  void ResumeHooks();
+
+  void StartCheckpointer();
+  void StopCheckpointer();
+  void CheckpointerLoop();
 
   DatabaseOptions options_;
   Env* env_;
@@ -174,6 +231,24 @@ class Database {
   RecoveryInfo recovery_info_;
   bool closed_ = false;
   int lock_handle_ = -1;
+
+  /// Serializes checkpoint attempts (background thread, RequestCheckpoint,
+  /// CheckpointNow, Close).
+  std::mutex ckpt_mu_;
+  CheckpointStats ckpt_stats_;
+  std::function<bool(const char*)> ckpt_crash_hook_;
+
+  /// Hook pause barrier state.
+  std::mutex hooks_mu_;
+  std::condition_variable hooks_cv_;
+  bool hooks_paused_ = false;
+  int hooks_inflight_ = 0;
+
+  /// Background checkpointer.
+  std::thread checkpointer_;
+  std::mutex ckpt_thread_mu_;
+  std::condition_variable ckpt_thread_cv_;
+  bool ckpt_stop_ = false;
 };
 
 }  // namespace phoebe

@@ -62,6 +62,18 @@ struct DatabaseOptions {
   /// (timeout-based deadlock resolution).
   uint64_t deadlock_timeout_ms = 100;
 
+  /// Background checkpointer triggers (0 disables the trigger). A checkpoint
+  /// is attempted when the WAL has flushed this many bytes since the last
+  /// checkpoint, or when the interval elapses, whichever comes first.
+  uint64_t checkpoint_wal_bytes = 0;
+  uint64_t checkpoint_interval_ms = 0;
+
+  /// How long one checkpoint attempt may stall new Begins while waiting for
+  /// active transactions and live undo to drain. On timeout the checkpoint
+  /// backs off (exponentially) and retries later; the workload is never
+  /// aborted on its behalf.
+  uint64_t checkpoint_quiesce_timeout_ms = 100;
+
   uint32_t total_slots() const {
     return workers * slots_per_worker + aux_slots;
   }

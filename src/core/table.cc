@@ -1127,9 +1127,33 @@ Status Table::ReplayInsert(OpContext* ctx, RowId rid, Slice row) {
     if (!key.ok()) return key.status();
     std::string entry_key = IndexEntryKey(*idx, key.value(), rid);
     Status st = idx->tree->IndexInsert(ctx, entry_key, rid);
+    if (st.IsKeyExists() && idx->unique) {
+      // Replay has no GC: a unique entry can still map to a row whose delete
+      // happened before the checkpoint cut but whose entry was never purged
+      // (the image carries it verbatim). Reclaim the mapping iff that row is
+      // dead; a live mismatch would be a corrupt history and is left alone.
+      uint64_t existing = 0;
+      Status ls = idx->tree->IndexLookup(ctx, entry_key, &existing);
+      if (!ls.ok() && !ls.IsNotFound()) return ls;
+      if (ls.ok() && existing != rid && !ReplayRowLive(ctx, existing)) {
+        PHOEBE_RETURN_IF_ERROR(idx->tree->IndexRemove(ctx, entry_key));
+        st = idx->tree->IndexInsert(ctx, entry_key, rid);
+      }
+    }
     if (!st.ok() && !st.IsKeyExists()) return st;
   }
   return Status::OK();
+}
+
+bool Table::ReplayRowLive(OpContext* ctx, RowId rid) {
+  LeafGuard g;
+  Status st =
+      tree_->FixLeaf(ctx, BTree::TableKey(rid), LatchMode::kShared, &g);
+  if (!st.ok()) return false;
+  TableLeaf leaf(g.page(), &schema_, &layout_);
+  uint16_t slot;
+  return leaf.InRange(rid) && leaf.IsLive(slot = leaf.SlotOf(rid)) &&
+         !leaf.IsDeleted(slot);
 }
 
 Status Table::ReplayUpdate(OpContext* ctx, RowId rid, Slice after_delta) {
@@ -1187,8 +1211,21 @@ Status Table::ReplayDelete(OpContext* ctx, RowId rid) {
   TableLeaf leaf(g.page(), &schema_, &layout_);
   uint16_t slot;
   if (leaf.InRange(rid) && leaf.IsLive(slot = leaf.SlotOf(rid))) {
+    std::string row;
+    PHOEBE_RETURN_IF_ERROR(leaf.ReadRow(slot, &row));
     PHOEBE_RETURN_IF_ERROR(leaf.SetDeleted(slot, true));
     g.frame()->dirty.store(true, std::memory_order_release);
+    g.Release();
+    // In forward operation the index entry outlives the delete until GC
+    // purges it; replay has no GC, so drop it now — otherwise a replayed
+    // re-insert of the same unique key can never claim the mapping.
+    RowView view(&schema_, row.data());
+    for (auto& idx : indexes_) {
+      Result<std::string> key =
+          EncodeKeyFromRow(schema_, idx->key_columns, view);
+      if (!key.ok()) return key.status();
+      PHOEBE_RETURN_IF_ERROR(IndexRemoveEntry(ctx, *idx, key.value(), rid));
+    }
     return Status::OK();
   }
   g.Release();

@@ -161,6 +161,9 @@ class Table {
   Status ReplayInsert(OpContext* ctx, RowId rid, Slice row);
   Status ReplayUpdate(OpContext* ctx, RowId rid, Slice after_delta);
   Status ReplayDelete(OpContext* ctx, RowId rid);
+  /// True iff `rid` is present and not tombstoned in the tree (replay-time
+  /// liveness; used to reclaim stale unique-index mappings).
+  bool ReplayRowLive(OpContext* ctx, RowId rid);
 
   /// --- Key encoding ------------------------------------------------------------
 

@@ -197,9 +197,20 @@ class PosixEnv : public Env {
   Result<uint64_t> FileSize(const std::string& path) override {
     struct stat st;
     if (::stat(path.c_str(), &st) != 0) {
+      if (errno == ENOENT) return Result<uint64_t>(Status::NotFound(path));
       return Result<uint64_t>(ErrnoStatus("stat " + path, errno));
     }
     return Result<uint64_t>(static_cast<uint64_t>(st.st_size));
+  }
+
+  Status SyncDir(const std::string& path) override {
+    int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd < 0) return ErrnoStatus("open dir " + path, errno);
+    int rc = ::fsync(fd);
+    int err = errno;
+    ::close(fd);
+    if (rc != 0) return ErrnoStatus("fsync dir " + path, err);
+    return Status::OK();
   }
 
   Result<int> LockFile(const std::string& path) override {

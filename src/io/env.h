@@ -54,7 +54,14 @@ class Env {
   virtual bool FileExists(const std::string& path) = 0;
   virtual Status ListDir(const std::string& path,
                          std::vector<std::string>* names) = 0;
+  /// kNotFound when the path does not exist; kIOError for real stat failures.
+  /// Callers that treat "missing" as 0 must not swallow I/O errors.
   virtual Result<uint64_t> FileSize(const std::string& path) = 0;
+
+  /// fsyncs the directory itself so a preceding Rename/CreateFile inside it
+  /// survives power loss. A rename is only durable after the parent
+  /// directory's metadata reaches disk.
+  virtual Status SyncDir(const std::string& path) = 0;
 
   /// Advisory exclusive lock on `path` (created if absent). Fails with
   /// kAborted when another process (or Database instance) holds it.

@@ -189,7 +189,25 @@ Status FaultInjectionEnv::ListDir(const std::string& path,
 }
 
 Result<uint64_t> FaultInjectionEnv::FileSize(const std::string& path) {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (file_size_fault_armed_ &&
+        (file_size_fault_filter_.empty() ||
+         path.find(file_size_fault_filter_) != std::string::npos)) {
+      file_size_fault_armed_ = false;
+      stats_.injected_read_errors.fetch_add(1, std::memory_order_relaxed);
+      IoStats::Global().injected_faults.fetch_add(1,
+                                                  std::memory_order_relaxed);
+      return Result<uint64_t>(Injected("stat", path));
+    }
+  }
   return base_->FileSize(path);
+}
+
+Status FaultInjectionEnv::SyncDir(const std::string& path) {
+  Status inj = MaybeInjectError(OpClass::kSync, path);
+  if (!inj.ok()) return inj;
+  return base_->SyncDir(path);
 }
 
 Result<int> FaultInjectionEnv::LockFile(const std::string& path) {
@@ -230,6 +248,12 @@ void FaultInjectionEnv::FailAllSyncs(bool on) {
   fail_all_syncs_.store(on, std::memory_order_release);
 }
 
+void FaultInjectionEnv::FailNextFileSize(const std::string& path_filter) {
+  std::lock_guard<std::mutex> lk(mu_);
+  file_size_fault_armed_ = true;
+  file_size_fault_filter_ = path_filter;
+}
+
 void FaultInjectionEnv::ClearFaults() {
   fail_all_syncs_.store(false, std::memory_order_release);
   std::lock_guard<std::mutex> lk(mu_);
@@ -242,6 +266,7 @@ void FaultInjectionEnv::ClearFaults() {
   read_error_every_ = 0;
   bit_flip_every_ = 0;
   short_write_armed_ = false;
+  file_size_fault_armed_ = false;
 }
 
 void FaultInjectionEnv::CountInjected(OpClass cls) {

@@ -67,6 +67,7 @@ class FaultInjectionEnv : public Env {
   Status ListDir(const std::string& path,
                  std::vector<std::string>* names) override;
   Result<uint64_t> FileSize(const std::string& path) override;
+  Status SyncDir(const std::string& path) override;
   Result<int> LockFile(const std::string& path) override;
   void UnlockFile(int handle) override;
 
@@ -95,6 +96,11 @@ class FaultInjectionEnv : public Env {
   /// All subsequent Sync() calls fail with kIOError until disabled: the
   /// sticky fsync-failure mode that must drive the engine into fail-stop.
   void FailAllSyncs(bool on);
+
+  /// The next FileSize() whose path contains `path_filter` fails with an
+  /// injected kIOError (stat on a flaky disk). Kept separate from the kRead
+  /// schedule so it does not perturb read-op counts in existing schedules.
+  void FailNextFileSize(const std::string& path_filter = "");
 
   /// Disarms every scheduled fault (does not reset stats).
   void ClearFaults();
@@ -161,6 +167,8 @@ class FaultInjectionEnv : public Env {
   uint64_t reads_since_flip_ = 0;
   bool short_write_armed_ = false;
   std::string short_write_filter_;
+  bool file_size_fault_armed_ = false;
+  std::string file_size_fault_filter_;
   std::atomic<bool> fail_all_syncs_{false};
 };
 

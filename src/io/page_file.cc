@@ -106,7 +106,27 @@ PageId PageFile::AllocatePage() {
 
 void PageFile::FreePage(PageId id) {
   std::lock_guard<std::mutex> lk(free_mu_);
-  free_list_.push_back(id);
+  if (defer_frees_.load(std::memory_order_relaxed)) {
+    pending_free_.push_back(id);
+  } else {
+    free_list_.push_back(id);
+  }
+}
+
+void PageFile::EnableDeferredFrees() {
+  defer_frees_.store(true, std::memory_order_relaxed);
+}
+
+void PageFile::PublishFrees() {
+  std::lock_guard<std::mutex> lk(free_mu_);
+  free_list_.insert(free_list_.end(), pending_free_.begin(),
+                    pending_free_.end());
+  pending_free_.clear();
+}
+
+size_t PageFile::pending_free_count() const {
+  std::lock_guard<std::mutex> lk(free_mu_);
+  return pending_free_.size();
 }
 
 }  // namespace phoebe

@@ -52,8 +52,26 @@ class PageFile {
   /// Allocates a fresh page id (recycling freed ids when available).
   PageId AllocatePage();
 
-  /// Returns page `id` to the free list.
+  /// Returns page `id` to the free list. With deferred frees enabled the id
+  /// is parked on a pending list instead and only becomes reusable after
+  /// PublishFrees(): page images referenced by the last durable catalog must
+  /// not be overwritten until a newer catalog is durable.
   void FreePage(PageId id);
+
+  /// Turns on checkpoint-safe deferred frees. Off (the default) keeps
+  /// immediate recycling — correct while no durable checkpoint image exists
+  /// yet (fresh database, or an unclean catalog that full replay rebuilds).
+  void EnableDeferredFrees();
+  bool deferred_frees_enabled() const {
+    return defer_frees_.load(std::memory_order_relaxed);
+  }
+
+  /// Moves all pending frees to the free list. Call only after the catalog
+  /// that no longer references those pages has been made durable.
+  void PublishFrees();
+
+  /// Pending deferred frees (for tests/stats).
+  size_t pending_free_count() const;
 
   Status Sync() { return file_->Sync(); }
 
@@ -70,8 +88,10 @@ class PageFile {
 
   std::unique_ptr<File> file_;
   std::atomic<uint64_t> next_page_;
-  std::mutex free_mu_;
+  mutable std::mutex free_mu_;
   std::vector<PageId> free_list_;
+  std::vector<PageId> pending_free_;
+  std::atomic<bool> defer_frees_{false};
   mutable std::mutex quarantine_mu_;
   std::unordered_set<PageId> quarantined_;
   BandwidthThrottle* throttle_ = nullptr;

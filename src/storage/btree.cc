@@ -1,7 +1,9 @@
 #include "storage/btree.h"
 
 #include <algorithm>
+#include <cstring>
 #include <thread>
+#include <vector>
 
 #include "common/coding.h"
 #include "common/profiler.h"
@@ -759,25 +761,67 @@ Status BTree::ForEachTableLeaf(
 // Maintenance
 // ---------------------------------------------------------------------------
 
-Status BTree::CheckpointRec(OpContext* ctx, BufferFrame* bf) {
+Status BTree::CheckpointRec(OpContext* ctx, BufferFrame* bf, char* scratch,
+                            bool* changed) {
+  bool child_changed = false;
   if (PageKind(bf->page) == NodeKind::kInner) {
     InnerNode* inner = InnerNode::Cast(bf->page);
     for (uint16_t i = 0; i < inner->num_children(); ++i) {
       Swip* s = inner->ChildAt(i);
       uint64_t w = s->raw();
+      // Evicted children are already on disk at a stable id: either part of
+      // the previous checkpoint image (shared), or written by an in-place
+      // eviction whose content replay reconciles.
       if ((w & Swip::kTagMask) == Swip::kTagEvicted) continue;
       BufferFrame* child =
           reinterpret_cast<BufferFrame*>(w & ~Swip::kTagMask);
-      PHOEBE_RETURN_IF_ERROR(CheckpointRec(ctx, child));
-      s->SetEvicted(child->page_id);
-      if (child->state.load(std::memory_order_relaxed) ==
-          FrameState::kCooling) {
-        pool_->RemoveCooling(child);
-      }
-      pool_->FreeFrame(child);
+      bool c = false;
+      PHOEBE_RETURN_IF_ERROR(CheckpointRec(ctx, child, scratch, &c));
+      child_changed |= c;
     }
   }
-  PHOEBE_RETURN_IF_ERROR(pool_->WriteBack(bf));
+  // Copy-on-write: a dirty page (or an inner node whose children moved)
+  // gets a NEW page id so the image referenced by the last durable catalog
+  // is never overwritten mid-checkpoint. Clean subtrees keep their ids —
+  // their images are shared with the previous checkpoint (standard
+  // shadow-paging sharing), which makes an idle checkpoint nearly free.
+  bool must_write = child_changed || bf->page_id == kInvalidPageId ||
+                    bf->dirty.load(std::memory_order_acquire);
+  if (!must_write) {
+    *changed = false;
+    return Status::OK();
+  }
+  PageId old_id = bf->page_id;
+  bf->page_id = pool_->page_file()->AllocatePage();
+  const char* image = bf->page;
+  if (PageKind(bf->page) == NodeKind::kInner) {
+    // Write a translated copy: resident child swips become on-disk page
+    // ids in the image while the in-memory node keeps its hot pointers.
+    // The frames stay resident, so an online checkpoint does not evict the
+    // working set the way unswizzle-and-free would.
+    memcpy(scratch, bf->page, kPageSize);
+    InnerNode* copy = InnerNode::Cast(scratch);
+    for (uint16_t i = 0; i < copy->num_children(); ++i) {
+      Swip* s = copy->ChildAt(i);
+      uint64_t w = s->raw();
+      if ((w & Swip::kTagMask) == Swip::kTagEvicted) continue;
+      BufferFrame* child =
+          reinterpret_cast<BufferFrame*>(w & ~Swip::kTagMask);
+      s->SetEvicted(child->page_id);
+    }
+    StampPageCrc(scratch);
+    image = scratch;
+  } else {
+    StampPageCrc(bf->page);
+  }
+  PHOEBE_RETURN_IF_ERROR(pool_->page_file()->WritePage(bf->page_id, image));
+  bf->dirty.store(false, std::memory_order_release);
+  if (old_id != kInvalidPageId) {
+    // Deferred while a durable image may reference it; published after the
+    // next catalog commit.
+    pool_->page_file()->FreePage(old_id);
+  }
+  *changed = true;
   return Status::OK();
 }
 
@@ -786,10 +830,10 @@ Result<PageId> BTree::Checkpoint(OpContext* ctx) {
     // Entire tree already on disk.
     return Result<PageId>(root_.page_id());
   }
-  // Children are flushed and unswizzled; the root is flushed but stays
-  // resident so the tree remains usable after the checkpoint.
   BufferFrame* root = root_.frame();
-  Status st = CheckpointRec(ctx, root);
+  std::vector<char> scratch(kPageSize);
+  bool changed = false;
+  Status st = CheckpointRec(ctx, root, scratch.data(), &changed);
   if (!st.ok()) return Result<PageId>(st);
   st = pool_->page_file()->Sync();
   if (!st.ok()) return Result<PageId>(st);

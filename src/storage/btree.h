@@ -146,8 +146,11 @@ class BTree {
   /// Root frame (pinned while the tree is open).
   BufferFrame* root_frame() const;
 
-  /// Writes every dirty page of this tree back to disk and returns the root
-  /// page id (for the checkpoint catalog). Quiescent callers only.
+  /// Writes every dirty page of this tree to freshly allocated page ids
+  /// (copy-on-write: the previous checkpoint's image is never overwritten)
+  /// and returns the new root page id for the checkpoint catalog. Clean
+  /// subtrees keep their ids and stay shared with the previous image; all
+  /// frames stay resident. Quiescent callers only.
   Result<PageId> Checkpoint(OpContext* ctx);
 
   /// Releases every resident frame and recycles every on-disk page of this
@@ -196,7 +199,14 @@ class BTree {
   /// Ensures the root is an inner node (grows the tree by one level).
   Status GrowRoot(OpContext* ctx);
 
-  Status CheckpointRec(OpContext* ctx, BufferFrame* bf);
+  /// Post-order copy-on-write checkpoint walk. Dirty pages (and inner nodes
+  /// whose children relocated) are written to freshly allocated page ids;
+  /// clean subtrees are skipped and share their image with the previous
+  /// checkpoint. Frames stay resident. `scratch` holds one page for
+  /// swip-translated inner copies; `*changed` reports whether this
+  /// subtree's image id moved.
+  Status CheckpointRec(OpContext* ctx, BufferFrame* bf, char* scratch,
+                       bool* changed);
 
   BufferPool* pool_;
   BTreeRegistry* registry_;

@@ -1,5 +1,6 @@
 #include "tpcc/tpcc_driver.h"
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <map>
@@ -28,33 +29,108 @@ TxnType PickType(TpccRandom* rnd, const DriverConfig& cfg) {
   return TxnType::kStock;
 }
 
+/// Parameter block for one transaction, generated once so every retry
+/// attempt re-executes the procedure with identical inputs.
+struct TxnParams {
+  TxnType type = TxnType::kNewOrder;
+  NewOrderParams no;
+  PaymentParams pay;
+  OrderStatusParams os;
+  DeliveryParams del;
+  StockLevelParams sl;
+};
+
+TxnParams MakeParams(TpccRandom* rnd, Workload* w, TxnType type,
+                     int32_t w_id) {
+  TxnParams p;
+  p.type = type;
+  switch (type) {
+    case TxnType::kNewOrder:
+      p.no = MakeNewOrderParams(rnd, w->scale, w_id);
+      break;
+    case TxnType::kPayment:
+      p.pay = MakePaymentParams(rnd, w->scale, w_id);
+      break;
+    case TxnType::kOrderStatus:
+      p.os = MakeOrderStatusParams(rnd, w->scale, w_id);
+      break;
+    case TxnType::kDelivery:
+      p.del = MakeDeliveryParams(rnd, w_id);
+      break;
+    case TxnType::kStock:
+      p.sl = MakeStockLevelParams(rnd, w_id);
+      break;
+  }
+  return p;
+}
+
+TxnTask StartAttempt(Workload* w, TaskEnv* env, const TxnParams& p) {
+  switch (p.type) {
+    case TxnType::kNewOrder:
+      return NewOrderTxn(w, env, p.no);
+    case TxnType::kPayment:
+      return PaymentTxn(w, env, p.pay);
+    case TxnType::kOrderStatus:
+      return OrderStatusTxn(w, env, p.os);
+    case TxnType::kDelivery:
+      return DeliveryTxn(w, env, p.del);
+    case TxnType::kStock:
+      return StockLevelTxn(w, env, p.sl);
+  }
+  return NewOrderTxn(w, env, p.no);
+}
+
+/// Retry driver coroutine: runs the procedure, and on a *system* abort
+/// (deadlock timeout / write-write conflict — never the intentional 1%
+/// NewOrder rollback, never fail-stop kUnavailable or I/O errors) re-executes
+/// it with the same inputs after a jittered exponential backoff paid in
+/// scheduler yields, up to max_retries attempts.
+TxnTask RunWithRetry(Workload* w, DriverConfig cfg, TxnType type,
+                     int32_t submit_w_id, TaskEnv* env) {
+  int32_t w_id = submit_w_id;
+  if (cfg.affinity) {
+    w_id = static_cast<int32_t>(env->global_slot_id %
+                                static_cast<uint32_t>(w->scale.warehouses)) +
+           1;
+  }
+  TpccRandom rnd(env->ctx.rng.Next());
+  TxnParams params = MakeParams(&rnd, w, type, w_id);
+
+  uint64_t backoff = 16;  // yields; doubles per retry with +-backoff jitter
+  for (uint32_t attempt = 0;; ++attempt) {
+    TxnTask inner = StartAttempt(w, env, params);
+    inner.Resume();
+    while (!inner.done()) {
+      co_await YieldWait(inner.wait_kind(), inner.wait_xid());
+      inner.Resume();
+    }
+    Status st = inner.result();
+    bool user_abort = env->global_slot_id >= w->last_abort_user.size() ||
+                      w->last_abort_user[env->global_slot_id] != 0;
+    if (st.ok() || !st.IsAborted() || user_abort ||
+        attempt >= cfg.max_retries) {
+      co_return st;
+    }
+    w->retries.fetch_add(1, std::memory_order_relaxed);
+    uint64_t spins = backoff + env->ctx.rng.Next() % backoff;
+    for (uint64_t i = 0; i < spins; ++i) {
+      // kLatch yields re-queue the slot immediately (no parked wait), so the
+      // backoff costs scheduler passes, not wall-clock sleeps.
+      co_await YieldWait(WaitKind::kLatch, 0);
+    }
+    backoff = std::min<uint64_t>(backoff * 2, 1024);
+  }
+}
+
 /// Builds the TaskFn for one transaction. The home warehouse is chosen at
 /// slot level when affinity is on (worker-warehouse binding), otherwise
 /// uniformly at submit time.
 TaskFn MakeTask(Workload* w, const DriverConfig& cfg, TxnType type,
                 int32_t submit_w_id) {
+  // Plain lambda calling a parameterized coroutine function (see the
+  // coroutine-lambda warning in task.h).
   return [w, cfg, type, submit_w_id](TaskEnv* env) -> TxnTask {
-    int32_t w_id = submit_w_id;
-    if (cfg.affinity) {
-      w_id = static_cast<int32_t>(env->global_slot_id %
-                                  static_cast<uint32_t>(w->scale.warehouses)) +
-             1;
-    }
-    TpccRandom rnd(env->ctx.rng.Next());
-    switch (type) {
-      case TxnType::kNewOrder:
-        return NewOrderTxn(w, env, MakeNewOrderParams(&rnd, w->scale, w_id));
-      case TxnType::kPayment:
-        return PaymentTxn(w, env, MakePaymentParams(&rnd, w->scale, w_id));
-      case TxnType::kOrderStatus:
-        return OrderStatusTxn(w, env,
-                              MakeOrderStatusParams(&rnd, w->scale, w_id));
-      case TxnType::kDelivery:
-        return DeliveryTxn(w, env, MakeDeliveryParams(&rnd, w_id));
-      case TxnType::kStock:
-        return StockLevelTxn(w, env, MakeStockLevelParams(&rnd, w_id));
-    }
-    return NewOrderTxn(w, env, MakeNewOrderParams(&rnd, w->scale, w_id));
+    return RunWithRetry(w, cfg, type, submit_w_id, env);
   };
 }
 
@@ -85,13 +161,18 @@ std::string DriverResult::Summary() const {
   char buf[256];
   snprintf(buf, sizeof(buf),
            "tpmC=%.0f tpm=%.0f commits=%llu neworder=%llu aborts(user=%llu "
-           "sys=%llu) wal=%.1fMB/s over %.1fs",
+           "sys=%llu retries=%llu) wal=%.1fMB/s over %.1fs",
            tpmc, tpm, static_cast<unsigned long long>(commits),
            static_cast<unsigned long long>(new_order_commits),
            static_cast<unsigned long long>(user_aborts),
-           static_cast<unsigned long long>(sys_aborts), wal_mb_per_s,
+           static_cast<unsigned long long>(sys_aborts),
+           static_cast<unsigned long long>(retries), wal_mb_per_s,
            seconds);
   std::string out = buf;
+  if (!recovery_line.empty()) {
+    out += "\n";
+    out += recovery_line;
+  }
   // Per-worker scheduler dispatch counters (coroutine model): shows how
   // much of the load each shard pulled locally vs. stole, and how often
   // workers parked.
@@ -123,6 +204,9 @@ std::string DriverResult::Summary() const {
 DriverResult RunTpcc(Workload* w, const DriverConfig& config) {
   Database* db = w->db;
   DriverResult result;
+  // One classification byte per task slot; must be sized before any task
+  // runs (the vector is indexed lock-free by global_slot_id).
+  w->last_abort_user.assign(db->options().total_slots(), 0);
 
   std::atomic<bool> stop_feeding{false};
 
@@ -224,6 +308,8 @@ DriverResult RunTpcc(Workload* w, const DriverConfig& config) {
 
   result.user_aborts = w->user_aborts.load(std::memory_order_relaxed);
   result.sys_aborts = w->sys_aborts.load(std::memory_order_relaxed);
+  result.retries = w->retries.load(std::memory_order_relaxed);
+  result.recovery_line = db->recovery_info().ToLine();
   uint64_t total = w->total_commits();
   if (total > 0) {
     result.avg_commit_wait_us =

@@ -29,6 +29,11 @@ struct DriverConfig {
   int pct_stock_level = 4;
   /// Per-second time-series sampling (Exp 3/4 plots).
   bool sample_series = false;
+  /// Bounded re-execution of system-aborted transactions (deadlock timeout,
+  /// write-write conflict) with jittered exponential backoff between
+  /// attempts. User-initiated aborts (the 1% NewOrder rollback) are never
+  /// retried. 0 disables retries.
+  uint32_t max_retries = 5;
 };
 
 struct SeriesPoint {
@@ -46,6 +51,8 @@ struct DriverResult {
   uint64_t new_order_commits = 0;
   uint64_t user_aborts = 0;
   uint64_t sys_aborts = 0;
+  /// System-aborted attempts that were re-executed by the driver.
+  uint64_t retries = 0;
   double tpm = 0;
   double tpmc = 0;
   double wal_mb_per_s = 0;
@@ -57,6 +64,9 @@ struct DriverResult {
   /// vector in the thread model).
   SchedulerStats sched;
   std::vector<SchedulerStats> sched_per_worker;
+
+  /// "#RECOVERY ..." diagnostic from the database this run started on.
+  std::string recovery_line;
 
   std::string Summary() const;
 };

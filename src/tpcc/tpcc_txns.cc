@@ -24,6 +24,9 @@ Status AbortWith(Workload* w, TaskEnv* env, Transaction* txn, Status st,
   } else {
     w->sys_aborts.fetch_add(1, std::memory_order_relaxed);
   }
+  if (env->global_slot_id < w->last_abort_user.size()) {
+    w->last_abort_user[env->global_slot_id] = user_initiated ? 1 : 0;
+  }
   return st;
 }
 

@@ -19,6 +19,43 @@ TxnManager::TxnManager(uint32_t num_slots, GlobalClock* clock)
 }
 
 Transaction* TxnManager::Begin(uint32_t slot_id, IsolationLevel iso) {
+  // Fast path: one relaxed-ish load when no checkpoint is quiescing. The
+  // slow path re-checks under the gate mutex, so a store that races with
+  // the unlocked load is caught there (no lost wakeup).
+  if (gate_closed_.load(std::memory_order_acquire)) {
+    std::unique_lock<std::mutex> lk(gate_mu_);
+    gate_cv_.wait(
+        lk, [&] { return !gate_closed_.load(std::memory_order_acquire); });
+  }
+  return BeginOnSlot(slot_id, iso);
+}
+
+Transaction* TxnManager::BeginMaybe(uint32_t slot_id, IsolationLevel iso) {
+  if (gate_closed_.load(std::memory_order_acquire)) return nullptr;
+  return BeginOnSlot(slot_id, iso);
+}
+
+void TxnManager::BeginQuiesce() {
+  std::lock_guard<std::mutex> lk(gate_mu_);
+  gate_closed_.store(true, std::memory_order_release);
+}
+
+void TxnManager::EndQuiesce() {
+  {
+    std::lock_guard<std::mutex> lk(gate_mu_);
+    gate_closed_.store(false, std::memory_order_release);
+  }
+  gate_cv_.notify_all();
+}
+
+bool TxnManager::AllSlotsIdle() const {
+  for (const auto& s : slots_) {
+    if (s->active_xid.load(std::memory_order_acquire) != 0) return false;
+  }
+  return true;
+}
+
+Transaction* TxnManager::BeginOnSlot(uint32_t slot_id, IsolationLevel iso) {
   SlotState& s = *slots_[slot_id];
   if (s.active_xid.load(std::memory_order_relaxed) != 0) {
     // A slot runs one transaction at a time (Section 7.1); starting a

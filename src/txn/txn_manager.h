@@ -61,8 +61,29 @@ class TxnManager {
 
   /// Begins a transaction on `slot_id` (which must be idle). Acquires the
   /// exclusive lock on its own transaction ID implicitly (the slot's
-  /// active_xid IS the lock).
+  /// active_xid IS the lock). Blocks while the checkpoint admission gate is
+  /// closed (BeginQuiesce): quiescence stalls new transactions, never aborts
+  /// running ones.
   Transaction* Begin(uint32_t slot_id, IsolationLevel iso);
+
+  /// Non-blocking Begin for maintenance paths (scheduler hooks) that must
+  /// not wait on the admission gate: returns nullptr when the gate is
+  /// closed. A hook blocked in Begin would deadlock against a checkpointer
+  /// draining in-flight hooks.
+  Transaction* BeginMaybe(uint32_t slot_id, IsolationLevel iso);
+
+  /// --- Checkpoint admission barrier -----------------------------------------
+
+  /// Closes the admission gate: subsequent Begins block until EndQuiesce.
+  /// Already-active transactions are unaffected. Not reentrant; one
+  /// quiescer at a time (the caller serializes).
+  void BeginQuiesce();
+
+  /// Reopens the admission gate and wakes all blocked Begins.
+  void EndQuiesce();
+
+  /// True when every slot is idle (no active or starting transaction).
+  bool AllSlotsIdle() const;
 
   /// Refreshes a read-committed transaction's per-statement snapshot.
   void RefreshStatementSnapshot(Transaction* txn);
@@ -133,8 +154,19 @@ class TxnManager {
   size_t TotalLiveUndo() const;
 
  private:
+  /// Publishes the begin-protocol timestamps for `slot_id` and returns the
+  /// slot's Transaction. Caller has already passed the admission gate.
+  Transaction* BeginOnSlot(uint32_t slot_id, IsolationLevel iso);
+
   GlobalClock* clock_;
   std::vector<std::unique_ptr<SlotState>> slots_;
+
+  /// Checkpoint admission gate. The flag is atomic so Begin's fast path is
+  /// one load; transitions happen under gate_mu_ so CV waiters never miss a
+  /// wakeup.
+  mutable std::mutex gate_mu_;
+  std::condition_variable gate_cv_;
+  std::atomic<bool> gate_closed_{false};
   std::function<void(Xid)> on_finish_;
   ReclaimHook reclaim_hook_;
 

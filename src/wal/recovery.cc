@@ -8,7 +8,8 @@
 namespace phoebe {
 
 Result<WalRecovery::ScanResult> WalRecovery::Scan(Env* env,
-                                                  const std::string& dir) {
+                                                  const std::string& dir,
+                                                  uint64_t watermark_gsn) {
   using R = Result<ScanResult>;
   ScanResult out;
   std::vector<std::string> names;
@@ -47,6 +48,7 @@ Result<WalRecovery::ScanResult> WalRecovery::Scan(Env* env,
                    });
       if (!st.ok()) return R(st);
     }
+    out.bytes_scanned += size;
     Slice input(buf.data(), size);
     for (;;) {
       WalRecord rec;
@@ -60,6 +62,8 @@ Result<WalRecovery::ScanResult> WalRecovery::Scan(Env* env,
       }
       if (!ds.ok()) return R(ds);
       out.total_records += 1;
+      // max_ts must cover watermark-skipped records too: the restarted
+      // clock has to stay above all pre-checkpoint history.
       out.max_ts = std::max(out.max_ts, XidStartTs(rec.xid));
       if (rec.type == WalRecordType::kCommit) {
         Timestamp cts = 0;
@@ -68,7 +72,14 @@ Result<WalRecovery::ScanResult> WalRecovery::Scan(Env* env,
         out.commits[rec.xid] = cts;
         out.max_ts = std::max(out.max_ts, cts);
       } else if (rec.type != WalRecordType::kAbort) {
-        all.push_back(std::move(rec));
+        if (rec.gsn <= watermark_gsn) {
+          // Already reflected in the checkpoint image this watermark came
+          // from. Quiescence at the cut guarantees no transaction straddles
+          // it, so skipping by GSN never splits a transaction.
+          out.skipped_checkpointed += 1;
+        } else {
+          all.push_back(std::move(rec));
+        }
       }
     }
   }

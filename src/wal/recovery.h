@@ -29,6 +29,12 @@ class WalRecovery {
     Timestamp max_ts = 0;
     uint64_t total_records = 0;
     uint64_t skipped_uncommitted = 0;
+    /// Records at or below the checkpoint watermark: already reflected in
+    /// the checkpoint image, so excluded from replay (they still feed
+    /// max_ts — the clock must not restart below pre-checkpoint history).
+    uint64_t skipped_checkpointed = 0;
+    /// Total WAL bytes read by the scan.
+    uint64_t bytes_scanned = 0;
     /// Files whose scan stopped at a torn (corrupt) tail record. Torn tails
     /// are expected after a crash and recovery keeps the clean prefix; a
     /// mid-log read error, by contrast, fails the whole scan — a flaky disk
@@ -36,8 +42,13 @@ class WalRecovery {
     uint64_t torn_tails = 0;
   };
 
-  /// Scans all `wal_<i>.log` files under `dir`.
-  static Result<ScanResult> Scan(Env* env, const std::string& dir);
+  /// Scans all `wal_<i>.log` files under `dir`. Records with
+  /// gsn <= watermark_gsn are counted but not replayed: the caller passes
+  /// the catalog's checkpoint watermark when (and only when) the catalog is
+  /// clean — a stale or unclean catalog must fall back to full replay with
+  /// watermark 0.
+  static Result<ScanResult> Scan(Env* env, const std::string& dir,
+                                 uint64_t watermark_gsn = 0);
 
   /// Replays `result.records` through `apply` (stops on first error).
   static Status Replay(

@@ -497,6 +497,31 @@ Status WalManager::TruncateAll() {
   return Status::OK();
 }
 
+Result<uint64_t> WalManager::QuiesceCut() {
+  using R = Result<uint64_t>;
+  if (fail_stopped()) return R(fail_stop_status());
+  uint64_t cut = 0;
+  for (auto& w : writers_) {
+    if (w->HasPending()) {
+      Result<size_t> r = w->Flush();
+      if (!r.ok()) return R(r.status());
+    }
+    cut = std::max(cut, w->appended_gsn());
+    // A restart restores the previous watermark as the GSN floor (see
+    // RaiseGsnFloor); the cut must stay monotonic across it even when
+    // nothing was appended since.
+    cut = std::max(cut, w->LoadGsn());
+  }
+  // Writers idle at the cut would otherwise reuse GSNs at or below the
+  // watermark for their next records; raise them all past it.
+  for (auto& w : writers_) w->RaiseGsn(cut);
+  return R(cut);
+}
+
+void WalManager::RaiseGsnFloor(uint64_t gsn) {
+  for (auto& w : writers_) w->RaiseGsn(gsn);
+}
+
 Status WalManager::fail_stop_status() const {
   std::lock_guard<std::mutex> lk(fail_mu_);
   std::string msg = "WAL fail-stop: commits disabled";

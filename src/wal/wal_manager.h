@@ -255,6 +255,20 @@ class WalManager {
   /// Post-checkpoint truncation of all WAL files.
   Status TruncateAll();
 
+  /// Checkpoint GSN cut. Call only with the system quiesced (no appends in
+  /// flight): flushes every writer's pending bytes and returns the
+  /// checkpoint watermark — the maximum appended GSN across writers. Every
+  /// writer's GSN counter is raised to the watermark so all records
+  /// appended after the cut (data and commits alike) carry a strictly
+  /// greater GSN; recovery can then skip everything at or below it.
+  Result<uint64_t> QuiesceCut();
+
+  /// Raises every writer's GSN counter to at least `gsn`. Called at open
+  /// with the catalog's checkpoint watermark: a restarted process would
+  /// otherwise assign fresh records GSNs at or below the watermark, and the
+  /// next recovery would silently skip them.
+  void RaiseGsnFloor(uint64_t gsn);
+
   /// Aggregate stats.
   uint64_t TotalBytesFlushed() const {
     return bytes_flushed_.load(std::memory_order_relaxed);

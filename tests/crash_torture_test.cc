@@ -20,6 +20,7 @@
 // and reopen itself never fails.
 #include <gtest/gtest.h>
 
+#include <cstring>
 #include <map>
 #include <string>
 #include <thread>
@@ -395,6 +396,95 @@ TEST_P(CrashTortureTest, SeededFaultAndCrashLoop) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, CrashTortureTest, ::testing::Range(0, 5));
+
+// --- Kill-mid-checkpoint torture ---------------------------------------------
+//
+// Every iteration runs committed churn, then kills an online checkpoint at a
+// seeded publication instant (between page writes, before/after the catalog
+// rename, before/after WAL truncation) via the crash hook, simulates a crash
+// with unsynced data dropped, reopens, and verifies the model exactly.
+// Periodically a checkpoint is allowed to complete so later iterations crash
+// on top of a real image + watermark rather than a fresh directory.
+
+constexpr const char* kCkptPoints[] = {
+    "mid_page_writes", "after_page_writes", "before_catalog_rename",
+    "before_wal_truncate", "after_wal_truncate"};
+
+class CheckpointTortureTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(CheckpointTortureTest, KillMidCheckpointLoop) {
+  TestDir dir("ckpt_torture_" + std::to_string(GetParam()));
+  const uint64_t seed = static_cast<uint64_t>(GetParam()) * 2654435761 + 99;
+  Random rng(static_cast<uint32_t>(seed));
+  Model model;
+
+  for (int iter = 0; iter < kItersPerSeed; ++iter) {
+    SCOPED_TRACE("iteration " + std::to_string(iter));
+    FaultInjectionEnv fenv(Env::Default(), seed * 7919 + iter);
+    auto opened = Database::Open(MakeOptions(dir.path(), &fenv));
+    ASSERT_OK_R(opened);
+    std::unique_ptr<Database> db = std::move(opened.value());
+
+    Table* table = nullptr;
+    if (iter == 0) {
+      table = db->CreateTable("kv", KvSchema()).value();
+      ASSERT_OK(db->CreateIndex("kv", "kv_pk", {0}, true));
+      OpContext ctx;
+      ctx.synchronous = true;
+      Transaction* txn = db->Begin(db->aux_slot(0));
+      for (int i = 0; i < 200; ++i) {
+        int64_t k = kBaseKeyStart + i;
+        RowBuilder b(&table->schema());
+        b.SetInt64(0, k).SetString(1, BaseValue(k));
+        RowId rid = 0;
+        ASSERT_OK(table->Insert(&ctx, txn, b.Encode().value(), &rid));
+        model.rows[k] = BaseValue(k);
+        model.rids[k] = rid;
+      }
+      ASSERT_OK(db->Commit(&ctx, txn));
+    } else {
+      auto t = db->GetTable("kv");
+      ASSERT_OK_R(t);
+      table = t.value();
+    }
+    VerifyModel(db.get(), table, model);
+
+    RunWorkload(db.get(), table, &model, &rng, 15, /*allow_zombies=*/false);
+
+    // Let every third attempt land so later crashes hit a directory that
+    // already carries a checkpoint image and a non-zero watermark.
+    if (iter % 3 == 2) {
+      ASSERT_OK(db->RequestCheckpoint());
+      RunWorkload(db.get(), table, &model, &rng, 10, /*allow_zombies=*/false);
+    }
+
+    const char* point = kCkptPoints[rng.Uniform(5)];
+    SCOPED_TRACE(std::string("crash point ") + point);
+    db->TEST_SetCheckpointCrashHook(
+        [point](const char* p) { return strcmp(p, point) == 0; });
+    Status st = db->RequestCheckpoint();
+    EXPECT_TRUE(st.IsAborted()) << st.ToString();
+    db->TEST_SetCheckpointCrashHook(nullptr);
+
+    // Committed work after the torn checkpoint must survive the crash too
+    // (its records sit above the watermark when the rename landed).
+    RunWorkload(db.get(), table, &model, &rng, 8, /*allow_zombies=*/false);
+
+    fenv.ClearFaults();
+    db->TEST_SimulateCrash();
+    db.reset();
+    fenv.DropUnsyncedData(false);
+  }
+
+  auto db = Database::Open(MakeOptions(dir.path(), nullptr));
+  ASSERT_OK_R(db);
+  auto t = db.value()->GetTable("kv");
+  ASSERT_OK_R(t);
+  VerifyModel(db.value().get(), t.value(), model);
+  ASSERT_OK(db.value()->Close());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CheckpointTortureTest, ::testing::Range(0, 5));
 
 }  // namespace
 }  // namespace phoebe

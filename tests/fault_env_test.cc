@@ -143,6 +143,41 @@ TEST_F(FaultEnvTest, FailAllSyncsIsSticky) {
   EXPECT_EQ(fenv_->stats().injected_sync_errors.load(), 2u);
 }
 
+TEST_F(FaultEnvTest, SyncDirSharesTheSyncFaultSchedule) {
+  // Directory fsyncs (the catalog-rename hardening step) must be failable
+  // like any other sync: both the sticky switch and the Nth-op schedule.
+  ASSERT_OK(fenv_->SyncDir(dir_->path()));
+  fenv_->FailAllSyncs(true);
+  EXPECT_TRUE(fenv_->SyncDir(dir_->path()).IsIOError());
+  fenv_->FailAllSyncs(false);
+  ASSERT_OK(fenv_->SyncDir(dir_->path()));
+
+  fenv_->FailNthOp(FaultInjectionEnv::OpClass::kSync, 2);
+  ASSERT_OK(fenv_->SyncDir(dir_->path()));                 // op 1: fine
+  EXPECT_TRUE(fenv_->SyncDir(dir_->path()).IsIOError());   // op 2: fails
+  ASSERT_OK(fenv_->SyncDir(dir_->path()));                 // transient
+  EXPECT_GE(fenv_->stats().injected_sync_errors.load(), 2u);
+}
+
+TEST_F(FaultEnvTest, FailNextFileSizeIsOneShotAndFiltered) {
+  auto f = OpenWritable("sz.dat");
+  ASSERT_OK(f->Write(0, std::string(128, 'x')));
+
+  // A filter that does not match leaves the fault armed for the next
+  // matching stat; ClearFaults disarms it.
+  fenv_->FailNextFileSize("no_such_substring");
+  EXPECT_TRUE(fenv_->FileSize(Path("sz.dat")).ok());
+  fenv_->ClearFaults();
+
+  fenv_->FailNextFileSize("sz.dat");
+  Result<uint64_t> r = fenv_->FileSize(Path("sz.dat"));
+  EXPECT_TRUE(r.status().IsIOError()) << r.status().ToString();
+  // One-shot: the very next stat succeeds and sees the true size.
+  Result<uint64_t> ok = fenv_->FileSize(Path("sz.dat"));
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok.value(), 128u);
+}
+
 TEST_F(FaultEnvTest, BitFlipCorruptsExactlyOneBitInMemoryOnly) {
   auto f = OpenWritable("d.dat");
   std::string data(256, '\0');

@@ -93,6 +93,29 @@ TEST_F(EnvTest, RemoveMissingFileIsOk) {
   ASSERT_OK(env_->RemoveFile(dir_->path() + "/nope"));
 }
 
+TEST_F(EnvTest, FileSizeOnMissingFileIsNotFound) {
+  // Callers distinguish "file absent" (legitimate: no frozen state yet)
+  // from a real stat failure; ENOENT must map to kNotFound, not kIOError.
+  Result<uint64_t> r = env_->FileSize(dir_->path() + "/absent");
+  EXPECT_TRUE(r.status().IsNotFound()) << r.status().ToString();
+}
+
+TEST_F(EnvTest, SyncDirHardensDirectoryEntries) {
+  // Smoke: fsync of a directory (the rename-publication hardening step)
+  // succeeds on a real dir and reports a missing one.
+  ASSERT_OK(env_->SyncDir(dir_->path()));
+  std::string sub = dir_->path() + "/sd";
+  ASSERT_OK(env_->CreateDir(sub));
+  std::unique_ptr<File> f;
+  Env::OpenOptions opts;
+  ASSERT_OK(env_->OpenFile(sub + "/file", opts, &f));
+  ASSERT_OK(f->Append("x"));
+  ASSERT_OK(f->Sync());
+  f.reset();
+  ASSERT_OK(env_->SyncDir(sub));
+  EXPECT_FALSE(env_->SyncDir(dir_->path() + "/missing").ok());
+}
+
 // --- PageFile -----------------------------------------------------------------
 
 TEST(PageFileTest, AllocateWriteRead) {
