@@ -22,7 +22,7 @@ void RunAndReport(const Flags& flags, bool affinity) {
   cfg.affinity = affinity;
   tpcc::DriverResult r = tpcc::RunTpcc(inst->workload.get(), cfg);
   Profiler::Enable(false);
-  Profiler::ThreadCounters agg = Profiler::Aggregate();
+  Profiler::Totals agg = Profiler::Aggregate();
 
   printf("\n# affinity=%s  (tpmC=%.0f, %llu txns profiled)\n",
          affinity ? "true" : "false", r.tpmc,
@@ -48,6 +48,25 @@ void RunAndReport(const Flags& flags, bool affinity) {
          100.0 * effective / agg.total_cycles);
   printf("%-22s %-16.0f %6.1f%%\n", "Total",
          static_cast<double>(agg.total_cycles) / agg.txn_count, 100.0);
+
+  // Allocation breakdown (alloc tracking spans the driver's measured
+  // window): per-component heap allocations attributed via the same scoped
+  // component markers, plus the whole-process #ALLOC rates.
+  if (r.heap_allocs > 0 && r.commits > 0) {
+    printf("\n%-22s %-18s %-18s\n", "component", "heap_allocs/txn",
+           "heap_bytes/txn");
+    for (int i = 0; i < Profiler::kN; ++i) {
+      if (agg.heap_allocs[i] == 0) continue;
+      printf("%-22s %-18.2f %-18.0f\n",
+             ComponentName(static_cast<Component>(i)),
+             static_cast<double>(agg.heap_allocs[i]) / r.commits,
+             static_cast<double>(agg.heap_bytes[i]) / r.commits);
+    }
+    printf("#ALLOC allocs_per_txn=%.1f heap_bytes_per_txn=%.0f "
+           "arena_bytes_per_txn=%.0f\n",
+           r.heap_allocs_per_txn, r.heap_bytes_per_txn,
+           r.arena_bytes_per_txn);
+  }
 }
 
 }  // namespace

@@ -32,7 +32,7 @@ double CyclesPerTxn(const Flags& flags, TpccInstance* inst, bool baseline,
   cfg.thread_model = baseline;  // baseline runs thread-per-transaction
   tpcc::RunTpcc(inst->workload.get(), cfg);
   Profiler::Enable(false);
-  Profiler::ThreadCounters agg = Profiler::Aggregate();
+  Profiler::Totals agg = Profiler::Aggregate();
   if (agg.txn_count == 0) return 0;
   return static_cast<double>(agg.total_cycles) /
          static_cast<double>(agg.txn_count);

@@ -2,8 +2,10 @@
 // compression ratio and speed.
 #include <benchmark/benchmark.h>
 
+#include "common/arena.h"
 #include "common/coding.h"
 #include "common/crc32.h"
+#include "common/profiler.h"
 #include "common/random.h"
 #include "storage/frozen_block.h"
 #include "storage/schema.h"
@@ -52,6 +54,101 @@ void BM_RowEncode(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_RowEncode);
+
+/// Measures heap allocs/op of `body` and reports them as counters.
+template <typename Fn>
+void RunWithAllocCounters(benchmark::State& state, Fn body) {
+  Profiler::Reset();
+  Profiler::EnableAllocTracking(true);
+  Profiler::Totals before = Profiler::Aggregate();
+  uint64_t iters = 0;
+  for (auto _ : state) {
+    body();
+    ++iters;
+  }
+  Profiler::Totals after = Profiler::Aggregate();
+  Profiler::EnableAllocTracking(false);
+  if (iters > 0) {
+    state.counters["heap_allocs_per_op"] = static_cast<double>(
+        (after.total_heap_allocs - before.total_heap_allocs) / iters);
+    state.counters["arena_bytes_per_op"] = static_cast<double>(
+        (after.arena_bytes - before.arena_bytes) / iters);
+  }
+}
+
+/// Legacy path: a fresh RowBuilder + Encode() returning a new std::string
+/// per row (what the transaction hot path did before the arena codec).
+void BM_RowEncodeLegacyAllocs(benchmark::State& state) {
+  Schema s = BenchSchema();
+  RunWithAllocCounters(state, [&] {
+    RowBuilder b(&s);
+    b.SetInt64(0, 123456).SetInt32(1, 42).SetDouble(2, 3.14)
+        .SetString(3, "some medium length string value");
+    benchmark::DoNotOptimize(b.Encode());
+  });
+}
+BENCHMARK(BM_RowEncodeLegacyAllocs);
+
+/// Scratch-string path: hoisted builder + EncodeTo(std::string*) reusing
+/// capacity; steady state is allocation-free.
+void BM_RowEncodeToStringAllocs(benchmark::State& state) {
+  Schema s = BenchSchema();
+  RowBuilder b(&s);
+  std::string out;
+  RunWithAllocCounters(state, [&] {
+    b.SetInt64(0, 123456).SetInt32(1, 42).SetDouble(2, 3.14)
+        .SetStringRef(3, Slice("some medium length string value"));
+    benchmark::DoNotOptimize(b.EncodeTo(&out));
+  });
+}
+BENCHMARK(BM_RowEncodeToStringAllocs);
+
+/// Arena path: hoisted builder + EncodeTo(Arena*) with the per-transaction
+/// reset pattern; zero heap allocations, bytes land in the arena.
+void BM_RowEncodeToArenaAllocs(benchmark::State& state) {
+  Schema s = BenchSchema();
+  RowBuilder b(&s);
+  Arena arena;
+  RunWithAllocCounters(state, [&] {
+    b.SetInt64(0, 123456).SetInt32(1, 42).SetDouble(2, 3.14)
+        .SetStringRef(3, Slice("some medium length string value"));
+    benchmark::DoNotOptimize(b.EncodeTo(&arena));
+    arena.Reset();
+  });
+}
+BENCHMARK(BM_RowEncodeToArenaAllocs);
+
+/// Delta codec: legacy MakeDelta (std::string result) vs MakeDeltaTo
+/// (arena slice), the UNDO-assembly hot path of UpdateApply.
+void BM_MakeDeltaLegacyAllocs(benchmark::State& state) {
+  Schema s = BenchSchema();
+  RowBuilder b(&s);
+  b.SetInt64(0, 123456).SetInt32(1, 42).SetDouble(2, 3.14)
+      .SetString(3, "some medium length string value");
+  std::string row = b.Encode().value();
+  RowView view(&s, row.data());
+  RunWithAllocCounters(state, [&] {
+    benchmark::DoNotOptimize(DeltaCodec::MakeDelta(s, view, {0, 1, 3}));
+  });
+}
+BENCHMARK(BM_MakeDeltaLegacyAllocs);
+
+void BM_MakeDeltaToArenaAllocs(benchmark::State& state) {
+  Schema s = BenchSchema();
+  RowBuilder b(&s);
+  b.SetInt64(0, 123456).SetInt32(1, 42).SetDouble(2, 3.14)
+      .SetString(3, "some medium length string value");
+  std::string row = b.Encode().value();
+  RowView view(&s, row.data());
+  const uint32_t cols[] = {0, 1, 3};
+  Arena arena;
+  RunWithAllocCounters(state, [&] {
+    benchmark::DoNotOptimize(DeltaCodec::MakeDeltaTo(s, view, cols, 3,
+                                                     &arena));
+    arena.Reset();
+  });
+}
+BENCHMARK(BM_MakeDeltaToArenaAllocs);
 
 void BM_FrozenBlockEncode(benchmark::State& state) {
   Schema s = BenchSchema();

@@ -1,19 +1,24 @@
 #!/usr/bin/env bash
 # Scheduler/perf smoke: runs a short TPC-C burst at 1, 4, and 8 workers and
 # emits BENCH_sched.json with tpmC plus the per-point scheduler dispatch
-# counters (steals, parks, queue high-water). Future PRs diff this file to
-# see the perf trajectory of the dispatch layer. Usage:
-#   scripts/bench_smoke.sh [seconds-per-point] [output.json]
+# counters (steals, parks, queue high-water), then an allocation smoke that
+# emits BENCH_alloc.json (allocs/txn + bytes/txn from the codec/MVCC micro
+# benches and a short TPC-C run). Future PRs diff these files to see the
+# perf trajectory of the dispatch layer and the allocation hot path. Usage:
+#   scripts/bench_smoke.sh [seconds-per-point] [sched.json] [alloc.json]
 set -eu
 
 cd "$(dirname "$0")/.."
 
 SECONDS_PER_POINT="${1:-2}"
 OUT="${2:-BENCH_sched.json}"
+ALLOC_OUT="${3:-BENCH_alloc.json}"
 BUILD_DIR="${BUILD_DIR:-build}"
 
 cmake -B "$BUILD_DIR" -S . >/dev/null
-cmake --build "$BUILD_DIR" -j "$(nproc)" --target exp2_scalability >/dev/null
+cmake --build "$BUILD_DIR" -j "$(nproc)" \
+  --target exp2_scalability micro_coding micro_mvcc order_management \
+  >/dev/null
 
 RAW=$("$BUILD_DIR/bench/exp2_scalability" \
   --sweep=1,4,8 \
@@ -49,3 +54,59 @@ echo "$RAW" | awk -v secs="$SECONDS_PER_POINT" '
 ' > "$OUT"
 
 echo "wrote $OUT"
+
+# --- Allocation smoke ------------------------------------------------------
+# Micro benches report heap_allocs_per_op / arena_bytes_per_op counters for
+# the legacy vs EncodeTo/arena codec paths and the visibility chain walk;
+# the TPC-C run prints the driver's "#ALLOC allocs_per_txn=..." line.
+MICRO=$("$BUILD_DIR/bench/micro_coding" --benchmark_filter=Allocs \
+          --benchmark_min_time=0.1 2>/dev/null
+        "$BUILD_DIR/bench/micro_mvcc" --benchmark_filter=Allocs \
+          --benchmark_min_time=0.1 2>/dev/null)
+echo "$MICRO"
+
+TPCC=$("$BUILD_DIR/examples/order_management" 1 "$SECONDS_PER_POINT")
+echo "$TPCC" | grep '^#ALLOC ' || true
+
+{
+  echo "$MICRO"
+  echo "$TPCC" | grep '^#ALLOC ' || true
+} | awk '
+  BEGIN { n = 0; alloc = "" }
+  # Console lines like:
+  #   BM_RowEncodeLegacyAllocs  63 ns  63 ns  100 arena_bytes_per_op=0 ...
+  /^BM_[A-Za-z0-9_]*Allocs / {
+    line = ""
+    for (i = 2; i <= NF; ++i) {
+      if (split($i, kv, "=") != 2) continue
+      line = line sprintf("%s\"%s\": %s", (line == "" ? "" : ", "),
+                          kv[1], kv[2])
+    }
+    micro[n++] = sprintf("    {\"name\": \"%s\", %s}", $1, line)
+  }
+  /^#ALLOC / {
+    for (i = 2; i <= NF; ++i) {
+      split($i, kv, "=")
+      alloc = alloc sprintf("%s\"%s\": %s", (alloc == "" ? "" : ", "),
+                            kv[1], kv[2])
+    }
+  }
+  END {
+    printf "{\n"
+    printf "  \"bench\": \"alloc_smoke\",\n"
+    printf "  \"micro\": [\n"
+    for (i = 0; i < n; ++i) {
+      printf "%s%s\n", micro[i], (i + 1 < n ? "," : "")
+    }
+    printf "  ],\n"
+    printf "  \"tpcc\": {%s},\n", alloc
+    # Pre-arena reference, measured at the growth seed with a temporary
+    # operator-new counter (EXPERIMENTS.md Exp 7): the hot-path rewrite
+    # must stay >= 5x below it.
+    printf "  \"baseline_pre_arena\": {\"allocs_per_txn\": 895.5, "
+    printf "\"heap_bytes_per_txn\": 96588}\n"
+    printf "}\n"
+  }
+' > "$ALLOC_OUT"
+
+echo "wrote $ALLOC_OUT"

@@ -28,6 +28,17 @@ cmake --build build -j "$(nproc)"
 echo "===== tier-1: ctest ====="
 (cd build && ctest --output-on-failure -j "$(nproc)")
 
+echo "===== tier-1: bench smoke (sched + alloc) ====="
+scripts/bench_smoke.sh 1
+python3 - <<'EOF'
+import json
+d = json.load(open("BENCH_alloc.json"))
+cur = d["tpcc"]["allocs_per_txn"]
+base = d["baseline_pre_arena"]["allocs_per_txn"]
+assert cur > 0 and cur * 5 <= base, (cur, base)
+print(f"allocs/txn {cur} vs pre-arena {base}: {base / cur:.1f}x")
+EOF
+
 if [ "$run_asan" = 1 ]; then
   echo "===== sanitizer smoke: asan ====="
   scripts/run_asan.sh

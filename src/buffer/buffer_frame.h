@@ -62,6 +62,13 @@ struct alignas(64) BufferFrame {
   /// A frame with a live twin table is not evictable.
   std::atomic<void*> twin{nullptr};
 
+  /// Steady-state fast path for TxnManager::RegisterTwin: set once when the
+  /// frame enters the twin registry, so repeat writers to an already-
+  /// attached page skip the registry shard lock entirely. Cleared by the
+  /// sweeper (under the frame's exclusive latch) before it destroys the
+  /// twin table, and by ResetHeader.
+  std::atomic<bool> twin_registered{false};
+
   /// Page content.
   alignas(64) char page[kPageSize];
 
@@ -72,6 +79,7 @@ struct alignas(64) BufferFrame {
 
   void ResetHeader() {
     twin.store(nullptr, std::memory_order_relaxed);
+    twin_registered.store(false, std::memory_order_relaxed);
     in_cooling.store(false, std::memory_order_relaxed);
     page_id = kInvalidPageId;
     btree = nullptr;

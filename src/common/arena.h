@@ -1,0 +1,156 @@
+#ifndef PHOEBE_COMMON_ARENA_H_
+#define PHOEBE_COMMON_ARENA_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "common/profiler.h"
+#include "common/slice.h"
+
+#if defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define PHOEBE_ARENA_ASAN 1
+#endif
+#elif defined(__SANITIZE_ADDRESS__)
+#define PHOEBE_ARENA_ASAN 1
+#endif
+#ifdef PHOEBE_ARENA_ASAN
+#include <sanitizer/asan_interface.h>
+#define PHOEBE_ARENA_POISON(p, n) ASAN_POISON_MEMORY_REGION((p), (n))
+#define PHOEBE_ARENA_UNPOISON(p, n) ASAN_UNPOISON_MEMORY_REGION((p), (n))
+#else
+#define PHOEBE_ARENA_POISON(p, n) ((void)0)
+#define PHOEBE_ARENA_UNPOISON(p, n) ((void)0)
+#endif
+
+namespace phoebe {
+
+/// Per-task-slot bump arena backing the allocation-free transaction hot
+/// path: encoded rows, index keys, before-image deltas, and visibility-chain
+/// scratch all live here for the duration of one transaction.
+///
+/// Lifetime rules (DESIGN.md §4g): memory handed out by Allocate is valid
+/// from the owning slot's Begin until its next Begin — Reset() runs at
+/// transaction start, not at commit, so row slices returned to the procedure
+/// remain readable after Commit/Abort. Anything that must outlive the
+/// transaction (WAL buffers, UNDO records, rows cached across transactions)
+/// must be copied out. Blocks are recycled, never returned to the OS, so a
+/// warmed arena performs zero heap allocations; under ASan the reclaimed
+/// range is poisoned on Reset so use-after-reset faults instead of silently
+/// reading stale bytes.
+///
+/// Not thread-safe: one arena belongs to one task slot, and a slot runs at
+/// most one transaction at a time on one worker.
+class Arena {
+ public:
+  explicit Arena(size_t block_bytes = kDefaultBlockBytes)
+      : block_bytes_(block_bytes) {}
+
+  ~Arena() {
+    for (Block& b : blocks_) {
+      PHOEBE_ARENA_UNPOISON(b.data, b.size);
+      delete[] b.data;
+    }
+  }
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// Returns `n` bytes aligned to 8. Never fails (grows by malloc'ing a new
+  /// block); n == 0 returns a valid one-past pointer.
+  char* Allocate(size_t n) {
+    if (Profiler::alloc_tracking()) Profiler::CountArenaAlloc(n);
+    size_t need = Align(n);
+    while (block_ >= blocks_.size() ||
+           blocks_[block_].size - offset_ < need) {
+      if (!AdvanceBlock(need)) AppendBlock(need);
+    }
+    char* p = blocks_[block_].data + offset_;
+    offset_ += need;
+    PHOEBE_ARENA_UNPOISON(p, n);
+    used_ += need;
+    return p;
+  }
+
+  /// Copies `s` into the arena.
+  Slice Copy(Slice s) {
+    char* p = Allocate(s.size());
+    memcpy(p, s.data(), s.size());
+    return Slice(p, s.size());
+  }
+
+  /// Shrinks the most recent allocation: `base` was returned by
+  /// Allocate(cap) and only `used <= cap` bytes are needed. No-op when a
+  /// newer allocation happened in between (the tail is simply wasted).
+  void ShrinkLast(char* base, size_t cap, size_t used) {
+    if (block_ < blocks_.size() &&
+        base + Align(cap) == blocks_[block_].data + offset_) {
+      size_t give_back = Align(cap) - Align(used);
+      offset_ -= give_back;
+      used_ -= give_back;
+      PHOEBE_ARENA_POISON(blocks_[block_].data + offset_, give_back);
+    }
+  }
+
+  /// Rewinds to empty, keeping every block for reuse. Called once per
+  /// transaction (TxnManager::BeginOnSlot). Under ASan the entire capacity
+  /// is poisoned so stale pointers from the previous transaction fault.
+  void Reset() {
+    for (size_t i = 0; i <= block_ && i < blocks_.size(); ++i) {
+      PHOEBE_ARENA_POISON(blocks_[i].data, blocks_[i].size);
+    }
+    block_ = 0;
+    offset_ = 0;
+    used_ = 0;
+  }
+
+  /// Bytes handed out since the last Reset.
+  size_t bytes_used() const { return used_; }
+  /// Total block capacity owned (never shrinks).
+  size_t bytes_capacity() const {
+    size_t n = 0;
+    for (const Block& b : blocks_) n += b.size;
+    return n;
+  }
+
+  static constexpr size_t kDefaultBlockBytes = 64 * 1024;
+
+ private:
+  struct Block {
+    char* data;
+    size_t size;
+  };
+
+  static size_t Align(size_t n) { return (n + 7) & ~size_t{7}; }
+
+  bool AdvanceBlock(size_t need) {
+    if (block_ + 1 >= blocks_.size()) return false;
+    if (blocks_[block_ + 1].size < need) return false;
+    ++block_;
+    offset_ = 0;
+    return true;
+  }
+
+  void AppendBlock(size_t need) {
+    size_t sz = need > block_bytes_ ? need : block_bytes_;
+    Block b{new char[sz], sz};
+    PHOEBE_ARENA_POISON(b.data, b.size);
+    // Insert right after the current block so the walk stays in order.
+    size_t at = blocks_.empty() ? 0 : block_ + 1;
+    blocks_.insert(blocks_.begin() + static_cast<long>(at), b);
+    block_ = at;
+    offset_ = 0;
+  }
+
+  size_t block_bytes_;
+  std::vector<Block> blocks_;
+  size_t block_ = 0;   // current block index
+  size_t offset_ = 0;  // bump offset within the current block
+  size_t used_ = 0;
+};
+
+}  // namespace phoebe
+
+#endif  // PHOEBE_COMMON_ARENA_H_

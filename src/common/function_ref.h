@@ -1,0 +1,45 @@
+#ifndef PHOEBE_COMMON_FUNCTION_REF_H_
+#define PHOEBE_COMMON_FUNCTION_REF_H_
+
+#include <type_traits>
+#include <utility>
+
+namespace phoebe {
+
+/// Non-owning, two-word reference to a callable. Replaces std::function in
+/// hot APIs (Table::UpdateApply, scan callbacks) where the callee only
+/// invokes the callable during the call and std::function's heap-allocated
+/// copy is pure overhead. The referenced callable must outlive every
+/// invocation; passing a lambda temporary to a function taking FunctionRef
+/// is safe because the temporary lives until the end of the full expression
+/// (PHOEBE_CO_AWAIT re-evaluates the expression — and thus rebuilds the
+/// temporary — on every retry).
+template <typename Signature>
+class FunctionRef;
+
+template <typename R, typename... Args>
+class FunctionRef<R(Args...)> {
+ public:
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, FunctionRef> &&
+                std::is_invocable_r_v<R, F&, Args...>>>
+  FunctionRef(F&& f)  // NOLINT(google-explicit-constructor)
+      : obj_(const_cast<void*>(static_cast<const void*>(&f))),
+        fn_([](void* obj, Args... args) -> R {
+          return (*static_cast<std::remove_reference_t<F>*>(obj))(
+              std::forward<Args>(args)...);
+        }) {}
+
+  R operator()(Args... args) const {
+    return fn_(obj_, std::forward<Args>(args)...);
+  }
+
+ private:
+  void* obj_;
+  R (*fn_)(void*, Args...);
+};
+
+}  // namespace phoebe
+
+#endif  // PHOEBE_COMMON_FUNCTION_REF_H_

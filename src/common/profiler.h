@@ -35,8 +35,10 @@ inline const char* ComponentName(Component c) {
   }
 }
 
-/// Per-thread cycle accumulator. Collection is enabled globally; when off,
-/// scopes compile down to two branches.
+/// Per-thread cycle and allocation accumulator. Cycle collection and
+/// allocation tracking are enabled globally and independently; when both are
+/// off, scopes compile down to a couple of relaxed-load branches and the
+/// global operator new hook is a single relaxed load in front of malloc.
 class Profiler {
  public:
   static constexpr int kN = static_cast<int>(Component::kNumComponents);
@@ -46,35 +48,86 @@ class Profiler {
   }
   static bool enabled() { return enabled_.load(std::memory_order_relaxed); }
 
-  /// Thread-local accumulators; merged on demand.
+  /// Turns heap/arena allocation counting on. Counted via the global
+  /// operator new replacement in profiler.cc (heap) and Arena::Allocate
+  /// (arena), attributed to the innermost active ComponentScope.
+  static void EnableAllocTracking(bool on) {
+    alloc_tracking_.store(on, std::memory_order_relaxed);
+  }
+  static bool alloc_tracking() {
+    return alloc_tracking_.load(std::memory_order_relaxed);
+  }
+
+  /// Thread-local accumulators; merged on demand. Cycle fields are plain
+  /// (only read after the workload quiesces); allocation fields are relaxed
+  /// atomics because the TPC-C driver snapshots them at the measured-window
+  /// boundaries while workers are still running.
   struct ThreadCounters {
     std::array<uint64_t, kN> cycles{};
     uint64_t total_cycles = 0;
     uint64_t txn_count = 0;
+    std::array<std::atomic<uint64_t>, kN> heap_allocs{};
+    std::array<std::atomic<uint64_t>, kN> heap_bytes{};
+    std::atomic<uint64_t> total_heap_allocs{0};
+    std::atomic<uint64_t> total_heap_bytes{0};
+    std::atomic<uint64_t> arena_allocs{0};
+    std::atomic<uint64_t> arena_bytes{0};
+  };
+
+  /// Plain-value snapshot of ThreadCounters summed across threads.
+  struct Totals {
+    std::array<uint64_t, kN> cycles{};
+    uint64_t total_cycles = 0;
+    uint64_t txn_count = 0;
+    std::array<uint64_t, kN> heap_allocs{};
+    std::array<uint64_t, kN> heap_bytes{};
+    uint64_t total_heap_allocs = 0;
+    uint64_t total_heap_bytes = 0;
+    uint64_t arena_allocs = 0;
+    uint64_t arena_bytes = 0;
   };
 
   static ThreadCounters& Local();
 
   /// Sums counters across all threads that ever touched the profiler.
-  static ThreadCounters Aggregate();
+  static Totals Aggregate();
 
   /// Clears all registered thread counters.
   static void Reset();
 
+  /// Called from the operator new replacement / Arena::Allocate when
+  /// alloc_tracking() is on. Re-entrancy safe (counting a heap allocation
+  /// may itself allocate the thread's counter block on first use).
+  static void CountHeapAlloc(size_t bytes);
+  static void CountArenaAlloc(size_t bytes);
+
+  /// Component the current thread is executing under, for allocation
+  /// attribution; -1 = unattributed. Maintained by ComponentScope. Trivially
+  /// initialized so the operator new hook can read it with no TLS guard.
+  inline static thread_local int tl_component = -1;
+
  private:
   static std::atomic<bool> enabled_;
+  static std::atomic<bool> alloc_tracking_;
 };
 
-/// Scoped timer attributing elapsed cycles to a component.
+/// Scoped timer attributing elapsed cycles (and, when allocation tracking is
+/// on, heap allocations) to a component.
 class ComponentScope {
  public:
   explicit ComponentScope(Component c) : c_(c) {
     if (Profiler::enabled()) start_ = ReadCycles();
+    if (Profiler::alloc_tracking()) {
+      prev_component_ = Profiler::tl_component;
+      Profiler::tl_component = static_cast<int>(c);
+      restore_ = true;
+    }
   }
   ~ComponentScope() {
     if (start_ != 0) {
       Profiler::Local().cycles[static_cast<int>(c_)] += ReadCycles() - start_;
     }
+    if (restore_) Profiler::tl_component = prev_component_;
   }
   ComponentScope(const ComponentScope&) = delete;
   ComponentScope& operator=(const ComponentScope&) = delete;
@@ -82,6 +135,8 @@ class ComponentScope {
  private:
   Component c_;
   uint64_t start_ = 0;
+  int prev_component_ = -1;
+  bool restore_ = false;
 };
 
 /// Scoped timer for a whole transaction (total cycles + txn count).

@@ -138,6 +138,11 @@ class Database {
 
   const DatabaseOptions& options() const { return options_; }
   TxnManager* txn_manager() { return txn_mgr_.get(); }
+  /// Per-slot scratch arena of `txn`: reset at the slot's next Begin, so
+  /// slices allocated from it survive Commit/Abort (DESIGN.md 4g).
+  Arena* ScratchArena(Transaction* txn) {
+    return &txn_mgr_->slot(txn->slot_id()).scratch;
+  }
   WalManager* wal() { return wal_.get(); }
   BufferPool* pool() { return pool_.get(); }
   BTreeRegistry* registry() { return registry_.get(); }

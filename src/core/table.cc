@@ -1,8 +1,10 @@
 #include "core/table.h"
 
 #include <algorithm>
+#include <cstring>
 #include <unordered_set>
 
+#include "common/arena.h"
 #include "common/clock.h"
 #include "common/coding.h"
 #include "common/profiler.h"
@@ -19,6 +21,54 @@ void EncodeOrderedInt64(std::string* out, int64_t v) {
   char buf[8];
   EncodeBigEndian64(buf, u);
   out->append(buf, 8);
+}
+
+char* EncodeOrderedInt64Raw(char* dst, int64_t v) {
+  EncodeBigEndian64(dst, static_cast<uint64_t>(v) ^ (1ull << 63));
+  return dst + 8;
+}
+
+/// Arena flavor of EncodeKeyValuesTo for the zero-allocation point-lookup
+/// path: exact size is computed up front, so no shrink slack remains.
+Result<Slice> EncodeKeyValuesToArena(const Schema& schema,
+                                     const std::vector<uint32_t>& cols,
+                                     const std::vector<Value>& values,
+                                     Arena* arena) {
+  if (cols.size() != values.size()) {
+    return Result<Slice>(Status::InvalidArgument("key value count mismatch"));
+  }
+  size_t need = 0;
+  for (size_t i = 0; i < cols.size(); ++i) {
+    switch (schema.column(cols[i]).type) {
+      case ColumnType::kInt32:
+      case ColumnType::kInt64: need += 8; break;
+      case ColumnType::kString: need += values[i].str_ref().size() + 1; break;
+      case ColumnType::kDouble:
+        return Result<Slice>(Status::NotSupported("double index keys"));
+    }
+  }
+  char* buf = arena->Allocate(need);
+  char* p = buf;
+  for (size_t i = 0; i < cols.size(); ++i) {
+    const Value& v = values[i];
+    switch (schema.column(cols[i]).type) {
+      case ColumnType::kInt32:
+      case ColumnType::kInt64:
+        p = EncodeOrderedInt64Raw(p, v.i64);
+        break;
+      case ColumnType::kString: {
+        Slice s = v.str_ref();
+        if (!s.empty()) {
+          memcpy(p, s.data(), s.size());
+          p += s.size();
+        }
+        *p++ = '\0';
+        break;
+      }
+      case ColumnType::kDouble: break;  // rejected above
+    }
+  }
+  return Result<Slice>(Slice(buf, need));
 }
 
 }  // namespace
@@ -88,41 +138,79 @@ int Table::FindIndex(const std::string& name) const {
 // Key encoding
 // ---------------------------------------------------------------------------
 
-Result<std::string> Table::EncodeKeyValues(const Schema& schema,
-                                           const std::vector<uint32_t>& cols,
-                                           const std::vector<Value>& values) {
+Status Table::EncodeKeyValuesTo(const Schema& schema,
+                                const std::vector<uint32_t>& cols,
+                                const std::vector<Value>& values,
+                                std::string* out) {
+  out->clear();
   if (cols.size() != values.size()) {
-    return Result<std::string>(
-        Status::InvalidArgument("key value count mismatch"));
+    return Status::InvalidArgument("key value count mismatch");
   }
-  std::string out;
   for (size_t i = 0; i < cols.size(); ++i) {
     const ColumnDef& def = schema.column(cols[i]);
     const Value& v = values[i];
     switch (def.type) {
       case ColumnType::kInt32:
       case ColumnType::kInt64:
-        EncodeOrderedInt64(&out, v.i64);
+        EncodeOrderedInt64(out, v.i64);
         break;
-      case ColumnType::kString:
-        out.append(v.str);
-        out.push_back('\0');
+      case ColumnType::kString: {
+        Slice s = v.str_ref();
+        if (!s.empty()) out->append(s.data(), s.size());
+        out->push_back('\0');
         break;
+      }
       case ColumnType::kDouble:
-        return Result<std::string>(
-            Status::NotSupported("double index keys"));
+        return Status::NotSupported("double index keys");
     }
   }
+  return Status::OK();
+}
+
+Status Table::EncodeKeyFromRowTo(const Schema& schema,
+                                 const std::vector<uint32_t>& cols,
+                                 RowView row, std::string* out) {
+  out->clear();
+  for (uint32_t c : cols) {
+    const ColumnDef& def = schema.column(c);
+    switch (def.type) {
+      case ColumnType::kInt32:
+        EncodeOrderedInt64(out, row.IsNull(c) ? 0 : row.GetInt32(c));
+        break;
+      case ColumnType::kInt64:
+        EncodeOrderedInt64(out, row.IsNull(c) ? 0 : row.GetInt64(c));
+        break;
+      case ColumnType::kString: {
+        if (!row.IsNull(c)) {
+          Slice s = row.GetString(c);
+          if (!s.empty()) out->append(s.data(), s.size());
+        }
+        out->push_back('\0');
+        break;
+      }
+      case ColumnType::kDouble:
+        return Status::NotSupported("double index keys");
+    }
+  }
+  return Status::OK();
+}
+
+Result<std::string> Table::EncodeKeyValues(const Schema& schema,
+                                           const std::vector<uint32_t>& cols,
+                                           const std::vector<Value>& values) {
+  std::string out;
+  Status st = EncodeKeyValuesTo(schema, cols, values, &out);
+  if (!st.ok()) return Result<std::string>(st);
   return Result<std::string>(std::move(out));
 }
 
 Result<std::string> Table::EncodeKeyFromRow(const Schema& schema,
                                             const std::vector<uint32_t>& cols,
                                             RowView row) {
-  std::vector<Value> values;
-  values.reserve(cols.size());
-  for (uint32_t c : cols) values.push_back(row.GetValue(c));
-  return EncodeKeyValues(schema, cols, values);
+  std::string out;
+  Status st = EncodeKeyFromRowTo(schema, cols, row, &out);
+  if (!st.ok()) return Result<std::string>(st);
+  return Result<std::string>(std::move(out));
 }
 
 std::string Table::PrefixSuccessor(const std::string& key) {
@@ -135,6 +223,15 @@ std::string Table::PrefixSuccessor(const std::string& key) {
     out.pop_back();
   }
   return out;  // empty = unbounded
+}
+
+Arena* Table::ScratchOf(OpContext* ctx, Transaction* txn) {
+  // An explicitly set ctx->arena wins; otherwise resolve the transaction
+  // slot's scratch arena fresh each call (never cached back into ctx: an
+  // OpContext may outlive this database instance, e.g. across a test's
+  // close/reopen cycle, and a cached pointer would dangle).
+  if (ctx->arena != nullptr) return ctx->arena;
+  return &deps_->txn_mgr->slot(txn->slot_id()).scratch;
 }
 
 void Table::BumpNextRowId(RowId at_least) {
@@ -228,7 +325,7 @@ Status Table::InsertBase(OpContext* ctx, Transaction* txn, RowId rid,
     BufferFrame* frame = g.frame();
     bool created = TwinTable::Of(frame) == nullptr;
     TwinTable* twin = TwinTable::GetOrCreate(frame, leaf.capacity());
-    if (created) deps_->txn_mgr->RegisterTwin(frame);
+    if (created) deps_->txn_mgr->RegisterTwin(id_, frame);
     auto& entry = twin->entry(slot);
 
     if (leaf.IsLive(slot)) {
@@ -258,8 +355,9 @@ Status Table::InsertBase(OpContext* ctx, Transaction* txn, RowId rid,
         leaf.InsertRow(slot, RowView(&schema_, row.data())));
     frame->dirty.store(true, std::memory_order_release);
     uint64_t gsn = deps_->wal->OnPageWrite(txn, frame);
-    deps_->wal->LogData(txn, WalRecordType::kInsert, gsn,
-                        WalRecordCodec::DataPayload(id_, rid, row));
+    deps_->wal->LogData(
+        txn, WalRecordType::kInsert, gsn,
+        WalRecordCodec::DataPayloadTo(id_, rid, row, ScratchOf(ctx, txn)));
     entry.locker.store(0, std::memory_order_relaxed);
     return Status::OK();
   }
@@ -274,14 +372,15 @@ Status Table::Insert(OpContext* ctx, Transaction* txn, Slice row,
   PHOEBE_RETURN_IF_ERROR(InsertBase(ctx, txn, rid, row));
 
   // Index maintenance: synchronous sub-context (no yields after the apply).
+  // One scratch key reused across the probe loop (capacity persists).
   OpContext sync;
   sync.InitSyncViewOf(*ctx);
   RowView view(&schema_, row.data());
+  std::string key_scratch;
   for (auto& idx : indexes_) {
-    Result<std::string> key =
-        EncodeKeyFromRow(schema_, idx->key_columns, view);
-    if (!key.ok()) return key.status();
-    PHOEBE_RETURN_IF_ERROR(IndexInsertEntry(&sync, *idx, key.value(), rid));
+    PHOEBE_RETURN_IF_ERROR(
+        EncodeKeyFromRowTo(schema_, idx->key_columns, view, &key_scratch));
+    PHOEBE_RETURN_IF_ERROR(IndexInsertEntry(&sync, *idx, key_scratch, rid));
   }
   txn->rows_written += 1;
   return Status::OK();
@@ -293,9 +392,18 @@ Status Table::Insert(OpContext* ctx, Transaction* txn, Slice row,
 
 Status Table::Get(OpContext* ctx, Transaction* txn, RowId rid,
                   std::string* row) {
+  Slice s;
+  PHOEBE_RETURN_IF_ERROR(GetRef(ctx, txn, rid, &s));
+  row->assign(s.data(), s.size());
+  return Status::OK();
+}
+
+Status Table::GetRef(OpContext* ctx, Transaction* txn, RowId rid,
+                     Slice* row) {
   // Tree first: live tree rows are authoritative even below the frozen
   // watermark (a freeze that raced a writer leaves a stale, shadowed block;
   // see DESIGN.md 4b). Frozen store is the fallback.
+  Arena* arena = ScratchOf(ctx, txn);
   LeafGuard g;
   PHOEBE_RETURN_IF_ERROR(
       tree_->FixLeaf(ctx, BTree::TableKey(rid), LatchMode::kShared, &g));
@@ -304,14 +412,19 @@ Status Table::Get(OpContext* ctx, Transaction* txn, RowId rid,
   if (!leaf.InRange(rid) || !leaf.IsLive(slot = leaf.SlotOf(rid))) {
     g.Release();
     if (frozen_ != nullptr && rid <= frozen_->max_frozen_row_id()) {
-      Status st = frozen_->ReadRow(rid, row);
-      if (st.ok()) txn->rows_read += 1;
-      return st;
+      std::string tmp;
+      Status st = frozen_->ReadRow(rid, &tmp);
+      if (!st.ok()) return st;
+      *row = arena->Copy(tmp);
+      txn->rows_read += 1;
+      return Status::OK();
     }
     return Status::NotFound();
   }
-  std::string base;
-  PHOEBE_RETURN_IF_ERROR(leaf.ReadRow(slot, &base));
+  // Materialize the base row into the arena so it survives releasing the
+  // page latch (the visible version may borrow it directly).
+  Result<Slice> base = leaf.ReadRowTo(slot, arena);
+  if (!base.ok()) return base.status();
   bool base_deleted = leaf.IsDeleted(slot);
   TwinTable* twin = TwinTable::Of(g.frame());
   TwinTable::Entry* entry = twin != nullptr ? &twin->entry(slot) : nullptr;
@@ -319,11 +432,11 @@ Status Table::Get(OpContext* ctx, Transaction* txn, RowId rid,
 
   VisibleVersion vv;
   PHOEBE_RETURN_IF_ERROR(RetrieveVisibleVersion(
-      schema_, txn->xid(), txn->snapshot(), base, base_deleted, entry, id_,
-      rid, &vv));
+      schema_, txn->xid(), txn->snapshot(), base.value(), base_deleted, entry,
+      id_, rid, arena, &vv));
   g.Release();
   if (!vv.exists) return Status::NotFound();
-  *row = std::move(vv.row);
+  *row = vv.row;
   txn->rows_read += 1;
   return Status::OK();
 }
@@ -343,7 +456,7 @@ Status Table::Update(OpContext* ctx, Transaction* txn, RowId rid,
 }
 
 Status Table::UpdateApply(OpContext* ctx, Transaction* txn, RowId rid,
-                          const UpdateFn& compute) {
+                          UpdateFn compute) {
 
   // Baseline global lock table: acquire before touching the page, with
   // the same deadlock-timeout policy as Phoebe-mode XID waits.
@@ -389,7 +502,7 @@ Status Table::UpdateApply(OpContext* ctx, Transaction* txn, RowId rid,
     BufferFrame* frame = g.frame();
     bool created = TwinTable::Of(frame) == nullptr;
     TwinTable* twin = TwinTable::GetOrCreate(frame, leaf.capacity());
-    if (created) deps_->txn_mgr->RegisterTwin(frame);
+    if (created) deps_->txn_mgr->RegisterTwin(id_, frame);
     auto& entry = twin->entry(slot);
 
     {
@@ -411,9 +524,14 @@ Status Table::UpdateApply(OpContext* ctx, Transaction* txn, RowId rid,
     }
 
     ComponentScope prof(Component::kMvcc);
-    std::string old_row;
-    PHOEBE_RETURN_IF_ERROR(leaf.ReadRow(slot, &old_row));
-    RowView old_view(&schema_, old_row.data());
+    // Allocation-free hot section: the old row, patched row, deltas, and
+    // WAL payload all live in the transaction arena (DESIGN.md 4g). The
+    // old row is materialized off the page so index maintenance can read
+    // it after the latch drops.
+    Arena* arena = ScratchOf(ctx, txn);
+    Result<Slice> old_row = leaf.ReadRowTo(slot, arena);
+    if (!old_row.ok()) return old_row.status();
+    RowView old_view(&schema_, old_row.value().data());
 
     // Evaluate the update against the current committed row (atomic RMW).
     std::vector<std::pair<uint32_t, Value>> sets;
@@ -422,31 +540,21 @@ Status Table::UpdateApply(OpContext* ctx, Transaction* txn, RowId rid,
       if (!st.ok()) return st;
     }
 
-    // Build the new row.
-    RowBuilder builder(&schema_);
-    for (size_t c = 0; c < schema_.num_columns(); ++c) {
-      if (old_view.IsNull(c)) {
-        builder.SetNull(c);
-      } else {
-        builder.Set(c, old_view.GetValue(c));
-      }
-    }
-    std::vector<uint32_t> cols;
-    cols.reserve(sets.size());
-    for (const auto& [col, value] : sets) {
-      if (value.is_null) {
-        builder.SetNull(col);
-      } else {
-        builder.Set(col, value);
-      }
-      cols.push_back(col);
-    }
-    Result<std::string> new_row = builder.Encode();
+    // Patch the encoded row directly instead of re-building every column
+    // through RowBuilder (byte-identical; see PatchRowTo).
+    Result<Slice> new_row =
+        PatchRowTo(schema_, old_view, sets.data(), sets.size(), arena);
     if (!new_row.ok()) return new_row.status();
     RowView new_view(&schema_, new_row.value().data());
 
+    const size_t ncols = sets.size();
+    uint32_t* cols = reinterpret_cast<uint32_t*>(
+        arena->Allocate(ncols * sizeof(uint32_t)));
+    for (size_t i = 0; i < ncols; ++i) cols[i] = sets[i].first;
+
     // UNDO: before-image delta of the touched columns (Section 6.2).
-    std::string before_delta = DeltaCodec::MakeDelta(schema_, old_view, cols);
+    Slice before_delta =
+        DeltaCodec::MakeDeltaTo(schema_, old_view, cols, ncols, arena);
     UndoRecord* prev = entry.head.load(std::memory_order_acquire);
     uint64_t prev_ets = 0;
     if (prev != nullptr && prev->IsLive(nullptr) && prev->rid == rid) {
@@ -466,33 +574,34 @@ Status Table::UpdateApply(OpContext* ctx, Transaction* txn, RowId rid,
     PHOEBE_RETURN_IF_ERROR(leaf.UpdateRow(slot, new_view));
     frame->dirty.store(true, std::memory_order_release);
     uint64_t gsn = deps_->wal->OnPageWrite(txn, frame);
-    std::string after_delta = DeltaCodec::MakeDelta(schema_, new_view, cols);
-    deps_->wal->LogData(txn, WalRecordType::kUpdate, gsn,
-                        WalRecordCodec::DataPayload(id_, rid, after_delta));
+    Slice after_delta =
+        DeltaCodec::MakeDeltaTo(schema_, new_view, cols, ncols, arena);
+    deps_->wal->LogData(
+        txn, WalRecordType::kUpdate, gsn,
+        WalRecordCodec::DataPayloadTo(id_, rid, after_delta, arena));
     entry.locker.store(0, std::memory_order_relaxed);
     g.Release();
 
     // Key-changing updates: swap the affected index entries (synchronous).
     OpContext sync;
-  sync.InitSyncViewOf(*ctx);
+    sync.InitSyncViewOf(*ctx);
+    std::string old_key;
+    std::string new_key;
     for (auto& idx : indexes_) {
       bool touches = false;
       for (uint32_t c : idx->key_columns) {
-        if (std::find(cols.begin(), cols.end(), c) != cols.end()) {
+        if (std::find(cols, cols + ncols, c) != cols + ncols) {
           touches = true;
           break;
         }
       }
       if (!touches) continue;
-      Result<std::string> old_key =
-          EncodeKeyFromRow(schema_, idx->key_columns, old_view);
-      Result<std::string> new_key =
-          EncodeKeyFromRow(schema_, idx->key_columns, new_view);
-      if (!old_key.ok()) return old_key.status();
-      if (!new_key.ok()) return new_key.status();
-      if (old_key.value() == new_key.value()) continue;
       PHOEBE_RETURN_IF_ERROR(
-          IndexInsertEntry(&sync, *idx, new_key.value(), rid));
+          EncodeKeyFromRowTo(schema_, idx->key_columns, old_view, &old_key));
+      PHOEBE_RETURN_IF_ERROR(
+          EncodeKeyFromRowTo(schema_, idx->key_columns, new_view, &new_key));
+      if (old_key == new_key) continue;
+      PHOEBE_RETURN_IF_ERROR(IndexInsertEntry(&sync, *idx, new_key, rid));
     }
     txn->rows_written += 1;
     return Status::OK();
@@ -537,7 +646,7 @@ Status Table::Delete(OpContext* ctx, Transaction* txn, RowId rid) {
     BufferFrame* frame = g.frame();
     bool created = TwinTable::Of(frame) == nullptr;
     TwinTable* twin = TwinTable::GetOrCreate(frame, leaf.capacity());
-    if (created) deps_->txn_mgr->RegisterTwin(frame);
+    if (created) deps_->txn_mgr->RegisterTwin(id_, frame);
     auto& entry = twin->entry(slot);
 
     {
@@ -574,7 +683,8 @@ Status Table::Delete(OpContext* ctx, Transaction* txn, RowId rid) {
     frame->dirty.store(true, std::memory_order_release);
     uint64_t gsn = deps_->wal->OnPageWrite(txn, frame);
     deps_->wal->LogData(txn, WalRecordType::kDelete, gsn,
-                        WalRecordCodec::DataPayload(id_, rid, Slice()));
+                        WalRecordCodec::DataPayloadTo(id_, rid, Slice(),
+                                                      ScratchOf(ctx, txn)));
     if (frozen_ != nullptr && rid <= frozen_->max_frozen_row_id()) {
       // Shadow tombstone: a raced freeze may hold a stale copy of this row;
       // once GC purges the tree slot, the fallback must not resurrect it.
@@ -617,15 +727,25 @@ Status Table::DeleteFrozen(OpContext* ctx, Transaction* txn, RowId rid) {
 Status Table::IndexGet(OpContext* ctx, Transaction* txn, size_t index_no,
                        const std::vector<Value>& key_values, RowId* rid,
                        std::string* row) {
+  Slice s;
+  PHOEBE_RETURN_IF_ERROR(IndexGetRef(ctx, txn, index_no, key_values, rid,
+                                     row != nullptr ? &s : nullptr));
+  if (row != nullptr) row->assign(s.data(), s.size());
+  return Status::OK();
+}
+
+Status Table::IndexGetRef(OpContext* ctx, Transaction* txn, size_t index_no,
+                          const std::vector<Value>& key_values, RowId* rid,
+                          Slice* row) {
   IndexDef& idx = *indexes_[index_no];
-  Result<std::string> key =
-      EncodeKeyValues(schema_, idx.key_columns, key_values);
+  Result<Slice> key = EncodeKeyValuesToArena(schema_, idx.key_columns,
+                                             key_values, ScratchOf(ctx, txn));
   if (!key.ok()) return key.status();
   uint64_t value = 0;
   PHOEBE_RETURN_IF_ERROR(idx.tree->IndexLookup(ctx, key.value(), &value));
   if (rid != nullptr) *rid = value;
   if (row != nullptr) {
-    return Get(ctx, txn, value, row);
+    return GetRef(ctx, txn, value, row);
   }
   return Status::OK();
 }
@@ -634,6 +754,16 @@ Status Table::IndexScan(
     OpContext* ctx, Transaction* txn, size_t index_no,
     const std::vector<Value>& lo_values, const std::vector<Value>& hi_values,
     const std::function<bool(RowId, const std::string&)>& cb) {
+  return IndexScanRef(ctx, txn, index_no, lo_values, hi_values,
+                      [&cb](RowId rid, Slice row) {
+                        return cb(rid, std::string(row.data(), row.size()));
+                      });
+}
+
+Status Table::IndexScanRef(OpContext* ctx, Transaction* txn, size_t index_no,
+                           const std::vector<Value>& lo_values,
+                           const std::vector<Value>& hi_values,
+                           FunctionRef<bool(RowId, Slice)> cb) {
   IndexDef& idx = *indexes_[index_no];
   std::vector<uint32_t> lo_cols(idx.key_columns.begin(),
                                 idx.key_columns.begin() + lo_values.size());
@@ -657,8 +787,8 @@ Status Table::IndexScan(
         return true;
       }));
   for (RowId rid : rids) {
-    std::string row;
-    Status st = Get(ctx, txn, rid, &row);
+    Slice row;
+    Status st = GetRef(ctx, txn, rid, &row);
     if (st.IsNotFound()) continue;  // not visible to this snapshot
     PHOEBE_RETURN_IF_ERROR(st);
     if (!cb(rid, row)) break;

@@ -9,6 +9,7 @@
 
 #include "baseline/lock_table.h"
 #include "common/constants.h"
+#include "common/function_ref.h"
 #include "common/status.h"
 #include "core/options.h"
 #include "storage/btree.h"
@@ -90,11 +91,12 @@ class Table {
   /// exclusive leaf latch (after the write-conflict check), making
   /// read-modify-write updates like `ytd = ytd + x` atomic. `compute` must
   /// be side-effect-free on failure paths (it may run multiple times on
-  /// retries).
-  using UpdateFn = std::function<Status(
+  /// retries). FunctionRef: the callable is borrowed for the duration of the
+  /// call, so passing a lambda inline never heap-allocates.
+  using UpdateFn = FunctionRef<Status(
       RowView current, std::vector<std::pair<uint32_t, Value>>* sets)>;
   Status UpdateApply(OpContext* ctx, Transaction* txn, RowId rid,
-                     const UpdateFn& compute);
+                     UpdateFn compute);
 
   /// Updates columns of the visible version of `rid` in place with constant
   /// values (sugar over UpdateApply).
@@ -107,10 +109,21 @@ class Table {
   /// Reads the version of `rid` visible to `txn`.
   Status Get(OpContext* ctx, Transaction* txn, RowId rid, std::string* row);
 
+  /// Allocation-free read: `*row` borrows the transaction's scratch arena
+  /// (or the base row materialized into it), valid until the slot's next
+  /// Begin resets the arena (DESIGN.md 4g). The hot-path variant of Get.
+  Status GetRef(OpContext* ctx, Transaction* txn, RowId rid, Slice* row);
+
   /// Unique-index point lookup with visibility check.
   Status IndexGet(OpContext* ctx, Transaction* txn, size_t index_no,
                   const std::vector<Value>& key_values, RowId* rid,
                   std::string* row);
+
+  /// Allocation-free point lookup: the key is encoded into the transaction
+  /// arena and `*row` borrows it like GetRef.
+  Status IndexGetRef(OpContext* ctx, Transaction* txn, size_t index_no,
+                     const std::vector<Value>& key_values, RowId* rid,
+                     Slice* row);
 
   /// Ascending index range scan over [lo, hi) key prefixes; `cb` receives
   /// each *visible* row, returns false to stop. Pass empty hi_values to use
@@ -119,6 +132,15 @@ class Table {
                    const std::vector<Value>& lo_values,
                    const std::vector<Value>& hi_values,
                    const std::function<bool(RowId, const std::string&)>& cb);
+
+  /// Allocation-free scan variant: row slices borrow the transaction arena
+  /// and stay valid until the slot's next Begin (they are NOT invalidated
+  /// between callback invocations, so callers may hold on to them for the
+  /// rest of the transaction).
+  Status IndexScanRef(OpContext* ctx, Transaction* txn, size_t index_no,
+                      const std::vector<Value>& lo_values,
+                      const std::vector<Value>& hi_values,
+                      FunctionRef<bool(RowId, Slice)> cb);
 
   /// Full scan of all visible rows (hot/cold + frozen), row-id order within
   /// each tier (frozen first). Maintenance/verification use.
@@ -175,6 +197,16 @@ class Table {
   static Result<std::string> EncodeKeyFromRow(const Schema& schema,
                                               const std::vector<uint32_t>& cols,
                                               RowView row);
+  /// Scratch-buffer variants: clear `out` and encode into it, reusing its
+  /// capacity. Callers hoist one std::string across secondary-index probe
+  /// loops so steady state performs zero key-encoding allocations.
+  static Status EncodeKeyValuesTo(const Schema& schema,
+                                  const std::vector<uint32_t>& cols,
+                                  const std::vector<Value>& values,
+                                  std::string* out);
+  static Status EncodeKeyFromRowTo(const Schema& schema,
+                                   const std::vector<uint32_t>& cols,
+                                   RowView row, std::string* out);
   /// Smallest key strictly greater than every key with prefix `key`.
   static std::string PrefixSuccessor(const std::string& key);
 
@@ -217,6 +249,11 @@ class Table {
   /// deletes / WarmPass). Returns the new row id.
   Status WarmRow(OpContext* ctx, Transaction* txn, RowId frozen_rid,
                  RowId* new_rid, std::string* row_out);
+
+  /// Resolves the arena for this operation: an explicit `ctx->arena`
+  /// override if set, else the transaction slot's scratch arena. Never
+  /// cached into `ctx` (an OpContext may outlive the engine instance).
+  Arena* ScratchOf(OpContext* ctx, Transaction* txn);
 
   EngineDeps* deps_;
   std::string name_;

@@ -9,6 +9,7 @@
 
 namespace phoebe {
 
+class Arena;
 class BTree;
 
 /// Per-task-slot execution context threaded through all storage operations.
@@ -35,6 +36,12 @@ struct OpContext {
 
   Random rng{0xC0FFEE};
 
+  /// Per-transaction scratch arena (reset at Begin on the owning slot).
+  /// Lazily resolved by Table from the transaction's slot when null, so
+  /// bare contexts (tests, maintenance) keep working; see DESIGN.md §4g for
+  /// the lifetime rules.
+  Arena* arena = nullptr;
+
   /// Populates this context as a synchronous (never-yielding) view of
   /// `base`, for sub-operations that must not suspend. OpContext is
   /// non-movable (embedded atomics), hence the in-place initializer.
@@ -42,6 +49,7 @@ struct OpContext {
     partition = base.partition;
     synchronous = true;
     count_accesses = base.count_accesses;
+    arena = base.arena;
   }
 
   /// At most one in-flight asynchronous page load per task slot.

@@ -3,6 +3,7 @@
 #include <cassert>
 #include <cstring>
 
+#include "common/arena.h"
 #include "common/coding.h"
 
 namespace phoebe {
@@ -125,6 +126,15 @@ Value RowView::GetValue(size_t col) const {
   return Value{};
 }
 
+Value RowView::GetValueRef(size_t col) const {
+  const ColumnDef& def = schema_->column(col);
+  if (IsNull(col)) return Value::Null(def.type);
+  if (def.type == ColumnType::kString) {
+    return Value::StringRef(GetString(col));
+  }
+  return GetValue(col);
+}
+
 // --- RowBuilder --------------------------------------------------------------
 
 RowBuilder::RowBuilder(const Schema* schema)
@@ -190,7 +200,7 @@ Result<std::string> RowBuilder::Encode() const {
     if (def.type != ColumnType::kString) continue;
     const bool is_null = !set_[i] || values_[i].is_null;
     if (is_null) continue;
-    const std::string& s = values_[i].str;
+    Slice s = values_[i].str_ref();
     if (s.size() > def.max_len) {
       return Result<std::string>(Status::InvalidArgument(
           "string too long for column " + def.name));
@@ -200,7 +210,7 @@ Result<std::string> RowBuilder::Encode() const {
     char* slot = out.data() + fixed_base + schema_->fixed_offset(i);
     memcpy(slot, &off, 2);
     memcpy(slot + 2, &len, 2);
-    out.append(s);
+    out.append(s.data(), s.size());
   }
   if (out.size() > 0xFFFF) {
     return Result<std::string>(Status::InvalidArgument("row too large"));
@@ -208,6 +218,237 @@ Result<std::string> RowBuilder::Encode() const {
   uint16_t total = static_cast<uint16_t>(out.size());
   memcpy(out.data(), &total, 2);
   return Result<std::string>(std::move(out));
+}
+
+Status RowBuilder::EncodeRaw(char* out, size_t cap, size_t* len) const {
+  const size_t ncols = schema_->num_columns();
+  for (size_t i = 0; i < ncols; ++i) {
+    if (!set_[i] && !schema_->column(i).nullable) {
+      return Status::InvalidArgument("column not set: " +
+                                     schema_->column(i).name);
+    }
+  }
+  const size_t bitmap_bytes = schema_->null_bitmap_bytes();
+  const size_t fixed_base = 2 + bitmap_bytes;
+  const size_t fixed_end = fixed_base + schema_->fixed_area_size();
+  if (cap < fixed_end) return Status::InvalidArgument("row too large");
+  memset(out, 0, fixed_end);
+
+  for (size_t i = 0; i < ncols; ++i) {
+    const ColumnDef& def = schema_->column(i);
+    const bool is_null = !set_[i] || values_[i].is_null;
+    if (is_null) {
+      out[2 + i / 8] = static_cast<char>(
+          static_cast<uint8_t>(out[2 + i / 8]) | (1u << (i % 8)));
+      continue;
+    }
+    const Value& v = values_[i];
+    char* slot = out + fixed_base + schema_->fixed_offset(i);
+    switch (def.type) {
+      case ColumnType::kInt32: {
+        int32_t x = static_cast<int32_t>(v.i64);
+        memcpy(slot, &x, 4);
+        break;
+      }
+      case ColumnType::kInt64:
+        memcpy(slot, &v.i64, 8);
+        break;
+      case ColumnType::kDouble:
+        memcpy(slot, &v.f64, 8);
+        break;
+      case ColumnType::kString:
+        // Offsets are fixed up after the heap is appended.
+        break;
+    }
+  }
+  // String heap.
+  size_t pos = fixed_end;
+  for (size_t i = 0; i < ncols; ++i) {
+    const ColumnDef& def = schema_->column(i);
+    if (def.type != ColumnType::kString) continue;
+    const bool is_null = !set_[i] || values_[i].is_null;
+    if (is_null) continue;
+    Slice s = values_[i].str_ref();
+    if (s.size() > def.max_len) {
+      return Status::InvalidArgument("string too long for column " + def.name);
+    }
+    if (pos + s.size() > cap) {
+      return Status::InvalidArgument("row too large");
+    }
+    uint16_t off = static_cast<uint16_t>(pos);
+    uint16_t slen = static_cast<uint16_t>(s.size());
+    char* slot = out + fixed_base + schema_->fixed_offset(i);
+    memcpy(slot, &off, 2);
+    memcpy(slot + 2, &slen, 2);
+    memcpy(out + pos, s.data(), s.size());
+    pos += s.size();
+  }
+  if (pos > 0xFFFF) return Status::InvalidArgument("row too large");
+  uint16_t total = static_cast<uint16_t>(pos);
+  memcpy(out, &total, 2);
+  *len = pos;
+  return Status::OK();
+}
+
+Status RowBuilder::EncodeTo(std::string* out) const {
+  const size_t cap = schema_->max_row_size();
+  out->resize(cap);
+  size_t len = 0;
+  Status st = EncodeRaw(out->data(), cap, &len);
+  if (!st.ok()) {
+    out->clear();
+    return st;
+  }
+  out->resize(len);
+  return Status::OK();
+}
+
+Result<Slice> RowBuilder::EncodeTo(Arena* arena) const {
+  const size_t cap = schema_->max_row_size();
+  char* buf = arena->Allocate(cap);
+  size_t len = 0;
+  Status st = EncodeRaw(buf, cap, &len);
+  if (!st.ok()) {
+    arena->ShrinkLast(buf, cap, 0);
+    return Result<Slice>(st);
+  }
+  arena->ShrinkLast(buf, cap, len);
+  return Result<Slice>(Slice(buf, len));
+}
+
+// --- Row patching ------------------------------------------------------------
+
+namespace {
+
+/// One column's replacement value when patching an encoded row. Strings are
+/// borrowed (the source — a delta payload or an owned Value — must stay
+/// alive during BuildPatchedRow).
+struct ColOverride {
+  bool set = false;
+  bool null = false;
+  int64_t i64 = 0;
+  double f64 = 0;
+  Slice str;
+};
+
+/// Builds the patched row directly from the old row's bytes plus per-column
+/// overrides, skipping RowBuilder. Byte-identical to re-encoding through
+/// RowBuilder: null columns get zeroed fixed slots and the string heap is
+/// rebuilt in column order.
+Status BuildPatchedRow(const Schema& schema, RowView old_row,
+                       const ColOverride* ov, char* out, size_t cap,
+                       size_t* out_len) {
+  const size_t ncols = schema.num_columns();
+  const size_t fixed_base = 2 + schema.null_bitmap_bytes();
+  const size_t fixed_end = fixed_base + schema.fixed_area_size();
+  if (cap < fixed_end) return Status::InvalidArgument("row too large");
+  memset(out, 0, fixed_end);
+
+  for (size_t i = 0; i < ncols; ++i) {
+    const ColumnDef& def = schema.column(i);
+    const bool is_null = ov[i].set ? ov[i].null : old_row.IsNull(i);
+    if (is_null) {
+      out[2 + i / 8] = static_cast<char>(
+          static_cast<uint8_t>(out[2 + i / 8]) | (1u << (i % 8)));
+      continue;
+    }
+    char* slot = out + fixed_base + schema.fixed_offset(i);
+    switch (def.type) {
+      case ColumnType::kInt32: {
+        int32_t x = ov[i].set ? static_cast<int32_t>(ov[i].i64)
+                              : old_row.GetInt32(i);
+        memcpy(slot, &x, 4);
+        break;
+      }
+      case ColumnType::kInt64: {
+        int64_t x = ov[i].set ? ov[i].i64 : old_row.GetInt64(i);
+        memcpy(slot, &x, 8);
+        break;
+      }
+      case ColumnType::kDouble: {
+        double x = ov[i].set ? ov[i].f64 : old_row.GetDouble(i);
+        memcpy(slot, &x, 8);
+        break;
+      }
+      case ColumnType::kString:
+        break;  // heap pass below
+    }
+  }
+  size_t pos = fixed_end;
+  for (size_t i = 0; i < ncols; ++i) {
+    const ColumnDef& def = schema.column(i);
+    if (def.type != ColumnType::kString) continue;
+    const bool is_null = ov[i].set ? ov[i].null : old_row.IsNull(i);
+    if (is_null) continue;
+    Slice s = ov[i].set ? ov[i].str : old_row.GetString(i);
+    if (s.size() > def.max_len) {
+      return Status::InvalidArgument("string too long for column " + def.name);
+    }
+    if (pos + s.size() > cap) {
+      return Status::InvalidArgument("row too large");
+    }
+    uint16_t off = static_cast<uint16_t>(pos);
+    uint16_t slen = static_cast<uint16_t>(s.size());
+    char* slot = out + fixed_base + schema.fixed_offset(i);
+    memcpy(slot, &off, 2);
+    memcpy(slot + 2, &slen, 2);
+    memcpy(out + pos, s.data(), s.size());
+    pos += s.size();
+  }
+  if (pos > 0xFFFF) return Status::InvalidArgument("row too large");
+  uint16_t total = static_cast<uint16_t>(pos);
+  memcpy(out, &total, 2);
+  *out_len = pos;
+  return Status::OK();
+}
+
+ColOverride* NewOverrideArray(const Schema& schema, Arena* arena) {
+  const size_t ncols = schema.num_columns();
+  ColOverride* ov = reinterpret_cast<ColOverride*>(
+      arena->Allocate(ncols * sizeof(ColOverride)));
+  for (size_t i = 0; i < ncols; ++i) ov[i] = ColOverride{};
+  return ov;
+}
+
+}  // namespace
+
+Result<Slice> PatchRowTo(const Schema& schema, RowView old_row,
+                         const std::pair<uint32_t, Value>* sets, size_t nsets,
+                         Arena* arena) {
+  ColOverride* ov = NewOverrideArray(schema, arena);
+  for (size_t k = 0; k < nsets; ++k) {
+    uint32_t col = sets[k].first;
+    if (col >= schema.num_columns()) {
+      return Result<Slice>(Status::InvalidArgument("patch: bad column"));
+    }
+    const Value& v = sets[k].second;
+    ColOverride& o = ov[col];
+    o.set = true;
+    o.null = v.is_null;
+    if (v.is_null) continue;
+    switch (schema.column(col).type) {
+      case ColumnType::kInt32:
+      case ColumnType::kInt64:
+        o.i64 = v.i64;
+        break;
+      case ColumnType::kDouble:
+        o.f64 = v.f64;
+        break;
+      case ColumnType::kString:
+        o.str = v.str_ref();
+        break;
+    }
+  }
+  const size_t cap = schema.max_row_size();
+  char* buf = arena->Allocate(cap);
+  size_t len = 0;
+  Status st = BuildPatchedRow(schema, old_row, ov, buf, cap, &len);
+  if (!st.ok()) {
+    arena->ShrinkLast(buf, cap, 0);
+    return Result<Slice>(st);
+  }
+  arena->ShrinkLast(buf, cap, len);
+  return Result<Slice>(Slice(buf, len));
 }
 
 // --- DeltaCodec --------------------------------------------------------------
@@ -348,6 +589,146 @@ Result<std::string> DeltaCodec::ApplyDelta(const Schema& schema, Slice row,
     }
   }
   return builder.Encode();
+}
+
+Slice DeltaCodec::MakeDeltaTo(const Schema& schema, RowView old_row,
+                              const uint32_t* columns, size_t ncols,
+                              Arena* arena) {
+  // Worst-case bound with actual string lengths, trimmed after encoding.
+  size_t cap = 5;
+  for (size_t k = 0; k < ncols; ++k) {
+    cap += 5 + 1;
+    uint32_t col = columns[k];
+    if (old_row.IsNull(col)) continue;
+    switch (schema.column(col).type) {
+      case ColumnType::kInt32: cap += 4; break;
+      case ColumnType::kInt64:
+      case ColumnType::kDouble: cap += 8; break;
+      case ColumnType::kString: cap += 5 + old_row.GetString(col).size(); break;
+    }
+  }
+  char* buf = arena->Allocate(cap);
+  char* p = EncodeVarint32(buf, static_cast<uint32_t>(ncols));
+  for (size_t k = 0; k < ncols; ++k) {
+    uint32_t col = columns[k];
+    p = EncodeVarint32(p, col);
+    const bool is_null = old_row.IsNull(col);
+    *p++ = is_null ? 1 : 0;
+    if (is_null) continue;
+    switch (schema.column(col).type) {
+      case ColumnType::kInt32: {
+        int32_t v = old_row.GetInt32(col);
+        memcpy(p, &v, 4);
+        p += 4;
+        break;
+      }
+      case ColumnType::kInt64: {
+        int64_t v = old_row.GetInt64(col);
+        memcpy(p, &v, 8);
+        p += 8;
+        break;
+      }
+      case ColumnType::kDouble: {
+        double v = old_row.GetDouble(col);
+        memcpy(p, &v, 8);
+        p += 8;
+        break;
+      }
+      case ColumnType::kString: {
+        Slice s = old_row.GetString(col);
+        p = EncodeVarint32(p, static_cast<uint32_t>(s.size()));
+        memcpy(p, s.data(), s.size());
+        p += s.size();
+        break;
+      }
+    }
+  }
+  size_t len = static_cast<size_t>(p - buf);
+  arena->ShrinkLast(buf, cap, len);
+  return Slice(buf, len);
+}
+
+Slice DeltaCodec::ComputeBeforeDeltaTo(const Schema& schema, RowView old_row,
+                                       RowView new_row, Arena* arena) {
+  const size_t ncols = schema.num_columns();
+  uint32_t* changed =
+      reinterpret_cast<uint32_t*>(arena->Allocate(ncols * sizeof(uint32_t)));
+  size_t n = 0;
+  for (size_t i = 0; i < ncols; ++i) {
+    if (!ColumnEquals(schema, old_row, new_row, i)) {
+      changed[n++] = static_cast<uint32_t>(i);
+    }
+  }
+  return MakeDeltaTo(schema, old_row, changed, n, arena);
+}
+
+Result<Slice> DeltaCodec::ApplyDeltaTo(const Schema& schema, Slice row,
+                                       Slice delta, Arena* arena) {
+  RowView view(&schema, row.data());
+  ColOverride* ov = NewOverrideArray(schema, arena);
+  uint32_t count = 0;
+  if (!GetVarint32(&delta, &count)) {
+    return Result<Slice>(Status::Corruption("delta: count"));
+  }
+  for (uint32_t k = 0; k < count; ++k) {
+    uint32_t col = 0;
+    if (!GetVarint32(&delta, &col) || delta.size() < 1 ||
+        col >= schema.num_columns()) {
+      return Result<Slice>(Status::Corruption("delta: column"));
+    }
+    bool is_null = delta[0] != 0;
+    delta.remove_prefix(1);
+    ColOverride& o = ov[col];
+    o.set = true;
+    o.null = is_null;
+    if (is_null) continue;
+    switch (schema.column(col).type) {
+      case ColumnType::kInt32: {
+        if (delta.size() < 4) {
+          return Result<Slice>(Status::Corruption("delta: i32"));
+        }
+        int32_t v;
+        memcpy(&v, delta.data(), 4);
+        delta.remove_prefix(4);
+        o.i64 = v;
+        break;
+      }
+      case ColumnType::kInt64: {
+        if (delta.size() < 8) {
+          return Result<Slice>(Status::Corruption("delta: i64"));
+        }
+        memcpy(&o.i64, delta.data(), 8);
+        delta.remove_prefix(8);
+        break;
+      }
+      case ColumnType::kDouble: {
+        if (delta.size() < 8) {
+          return Result<Slice>(Status::Corruption("delta: f64"));
+        }
+        memcpy(&o.f64, delta.data(), 8);
+        delta.remove_prefix(8);
+        break;
+      }
+      case ColumnType::kString: {
+        Slice s;
+        if (!GetLengthPrefixedSlice(&delta, &s)) {
+          return Result<Slice>(Status::Corruption("delta: str"));
+        }
+        o.str = s;
+        break;
+      }
+    }
+  }
+  const size_t cap = schema.max_row_size();
+  char* buf = arena->Allocate(cap);
+  size_t len = 0;
+  Status st = BuildPatchedRow(schema, view, ov, buf, cap, &len);
+  if (!st.ok()) {
+    arena->ShrinkLast(buf, cap, 0);
+    return Result<Slice>(st);
+  }
+  arena->ShrinkLast(buf, cap, len);
+  return Result<Slice>(Slice(buf, len));
 }
 
 Result<std::vector<uint32_t>> DeltaCodec::TouchedColumns(const Schema& schema,

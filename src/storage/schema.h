@@ -3,12 +3,15 @@
 
 #include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/slice.h"
 #include "common/status.h"
 
 namespace phoebe {
+
+class Arena;
 
 /// Column types supported by the storage engine. Strings are
 /// bounded-length (CHAR/VARCHAR(n)); timestamps/decimals map onto
@@ -68,12 +71,20 @@ class Schema {
 };
 
 /// A decoded column value used when building rows through the public API.
+/// Strings come in two flavors: owned (`str`, via Value::String) and
+/// borrowed (`ref`, via Value::StringRef) — borrowed values carry a Slice
+/// into memory the caller keeps alive (typically an encoded row in the
+/// transaction arena) so the hot path never copies column bytes.
 struct Value {
   ColumnType type = ColumnType::kInt64;
   bool is_null = false;
+  bool is_ref = false;   // kString: true -> `ref` is the payload, not `str`
   int64_t i64 = 0;       // kInt32/kInt64
   double f64 = 0;        // kDouble
-  std::string str;       // kString
+  std::string str;       // kString, owned
+  Slice ref;             // kString, borrowed
+
+  Slice str_ref() const { return is_ref ? ref : Slice(str); }
 
   static Value Null(ColumnType t) {
     Value v;
@@ -105,6 +116,14 @@ struct Value {
     v.str = std::move(s);
     return v;
   }
+  /// Borrowed string: `s` must stay alive until the value is consumed.
+  static Value StringRef(Slice s) {
+    Value v;
+    v.type = ColumnType::kString;
+    v.is_ref = true;
+    v.ref = s;
+    return v;
+  }
 };
 
 /// Read-only accessor over an encoded row.
@@ -125,6 +144,9 @@ class RowView {
   double GetDouble(size_t col) const;
   Slice GetString(size_t col) const;
   Value GetValue(size_t col) const;
+  /// Like GetValue but string payloads borrow from the row buffer instead of
+  /// copying; valid only while the underlying row bytes are.
+  Value GetValueRef(size_t col) const;
 
  private:
   const char* FixedSlot(size_t col) const;
@@ -145,16 +167,37 @@ class RowBuilder {
   RowBuilder& SetString(size_t col, std::string v) {
     return Set(col, Value::String(std::move(v)));
   }
+  /// Borrowed string: `v` must stay alive until Encode/EncodeTo.
+  RowBuilder& SetStringRef(size_t col, Slice v) {
+    return Set(col, Value::StringRef(v));
+  }
   RowBuilder& SetNull(size_t col);
 
   /// Encodes the row. All non-nullable columns must have been set.
   Result<std::string> Encode() const;
 
+  /// Allocation-reusing variants of Encode, byte-identical to it (verified
+  /// by codec_fuzz_test). EncodeTo(std::string*) reuses `out`'s capacity;
+  /// EncodeTo(Arena*) bump-allocates the row in the transaction arena and
+  /// returns a slice valid until the arena resets.
+  Status EncodeTo(std::string* out) const;
+  Result<Slice> EncodeTo(Arena* arena) const;
+
  private:
+  Status EncodeRaw(char* out, size_t cap, size_t* len) const;
+
   const Schema* schema_;
   std::vector<Value> values_;
   std::vector<bool> set_;
 };
+
+/// Patches an encoded row with explicit column updates, producing the new
+/// encoded row in `arena` without going through RowBuilder. Byte-identical
+/// to re-building the row via RowBuilder with the same final values. Used by
+/// Table::UpdateApply; `old_row`'s bytes must stay valid during the call.
+Result<Slice> PatchRowTo(const Schema& schema, RowView old_row,
+                         const std::pair<uint32_t, Value>* sets, size_t nsets,
+                         Arena* arena);
 
 /// Before-image delta codec for UNDO logs (Section 6.2): records only the
 /// columns that changed. Format:
@@ -175,6 +218,18 @@ class DeltaCodec {
   /// earlier version.
   static Result<std::string> ApplyDelta(const Schema& schema, Slice row,
                                         Slice delta);
+
+  /// Arena variants, byte-identical to the std::string forms above
+  /// (verified by codec_fuzz_test); returned slices live until the arena
+  /// resets. ApplyDeltaTo patches the encoded row directly instead of
+  /// round-tripping every column through RowBuilder.
+  static Slice ComputeBeforeDeltaTo(const Schema& schema, RowView old_row,
+                                    RowView new_row, Arena* arena);
+  static Slice MakeDeltaTo(const Schema& schema, RowView old_row,
+                           const uint32_t* columns, size_t ncols,
+                           Arena* arena);
+  static Result<Slice> ApplyDeltaTo(const Schema& schema, Slice row,
+                                    Slice delta, Arena* arena);
 
   /// Lists the columns touched by a delta (for index-maintenance checks).
   static Result<std::vector<uint32_t>> TouchedColumns(const Schema& schema,

@@ -2,6 +2,8 @@
 
 #include <cstring>
 
+#include "common/arena.h"
+
 namespace phoebe {
 
 TableLeafLayout TableLeafLayout::Compute(const Schema& schema) {
@@ -195,6 +197,58 @@ Status TableLeaf::ReadRow(uint16_t slot, std::string* out) const {
   if (!encoded.ok()) return encoded.status();
   *out = std::move(encoded.value());
   return Status::OK();
+}
+
+Result<Slice> TableLeaf::ReadRowTo(uint16_t slot, Arena* arena) const {
+  if (slot >= capacity() || !IsLive(slot)) {
+    return Result<Slice>(Status::NotFound("read: slot not live"));
+  }
+  const size_t ncols = schema_->num_columns();
+  const size_t fixed_base = 2 + schema_->null_bitmap_bytes();
+  const size_t fixed_end = fixed_base + schema_->fixed_area_size();
+  const size_t cap = schema_->max_row_size();
+  char* out = arena->Allocate(cap);
+  memset(out, 0, fixed_end);
+  size_t pos = fixed_end;
+  for (size_t i = 0; i < ncols; ++i) {
+    const ColumnDef& c = schema_->column(i);
+    if (TestBit(layout_->null_bitmap_offset(i), slot)) {
+      out[2 + i / 8] = static_cast<char>(
+          static_cast<uint8_t>(out[2 + i / 8]) | (1u << (i % 8)));
+      continue;
+    }
+    const char* base = page_ + layout_->column_offset(i);
+    char* fixed_slot = out + fixed_base + schema_->fixed_offset(i);
+    switch (c.type) {
+      case ColumnType::kInt32:
+        memcpy(fixed_slot, base + 4 * slot, 4);
+        break;
+      case ColumnType::kInt64:
+      case ColumnType::kDouble:
+        memcpy(fixed_slot, base + 8 * slot, 8);
+        break;
+      case ColumnType::kString: {
+        uint16_t len;
+        memcpy(&len, base + 2 * slot, 2);
+        const char* data = page_ + layout_->string_data_offset(i) +
+                           static_cast<size_t>(c.max_len) * slot;
+        uint16_t off = static_cast<uint16_t>(pos);
+        memcpy(fixed_slot, &off, 2);
+        memcpy(fixed_slot + 2, &len, 2);
+        memcpy(out + pos, data, len);
+        pos += len;
+        break;
+      }
+    }
+  }
+  if (pos > 0xFFFF) {
+    arena->ShrinkLast(out, cap, 0);
+    return Result<Slice>(Status::InvalidArgument("row too large"));
+  }
+  uint16_t total = static_cast<uint16_t>(pos);
+  memcpy(out, &total, 2);
+  arena->ShrinkLast(out, cap, pos);
+  return Result<Slice>(Slice(out, pos));
 }
 
 }  // namespace phoebe

@@ -12,6 +12,8 @@
 
 namespace phoebe {
 
+class Arena;
+
 /// Physical layout of a PAX table leaf for a given schema (Section 5.2: hot
 /// and cold pages use the PAX format). All values of a column are stored
 /// contiguously ("minipages"), which keeps OLTP in-place updates cheap and
@@ -106,6 +108,12 @@ class TableLeaf {
 
   /// Materializes the slot into the serialized row format.
   Status ReadRow(uint16_t slot, std::string* out) const;
+
+  /// Allocation-free variant: encodes the slot directly from the PAX
+  /// minipages into `arena` (byte-identical to ReadRow), returning a slice
+  /// valid until the arena resets. The hot-path reads use this so the row
+  /// survives releasing the page latch without a heap copy.
+  Result<Slice> ReadRowTo(uint16_t slot, Arena* arena) const;
 
   /// Direct PAX minipage accessors (columnar fast path; callers check
   /// IsLive/IsDeleted/IsNullCol and the column type themselves).

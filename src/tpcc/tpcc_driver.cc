@@ -7,6 +7,7 @@
 #include <type_traits>
 
 #include "common/clock.h"
+#include "common/profiler.h"
 #include "io/io_stats.h"
 #include "runtime/thread_executor.h"
 
@@ -140,10 +141,13 @@ struct Snapshot {
   uint64_t wal_bytes = 0;
   uint64_t read_bytes = 0;
   uint64_t write_bytes = 0;
+  uint64_t heap_allocs = 0;
+  uint64_t heap_bytes = 0;
+  uint64_t arena_bytes = 0;
   double at = 0;
 };
 
-Snapshot TakeSnapshot(Workload* w) {
+Snapshot TakeSnapshot(Workload* w, bool track_allocs) {
   Snapshot s;
   s.commits = w->total_commits();
   s.new_orders = w->new_order_commits.load(std::memory_order_relaxed);
@@ -151,6 +155,12 @@ Snapshot TakeSnapshot(Workload* w) {
   s.wal_bytes = io.wal_bytes_written.load(std::memory_order_relaxed);
   s.read_bytes = io.data_bytes_read.load(std::memory_order_relaxed);
   s.write_bytes = io.data_bytes_written.load(std::memory_order_relaxed);
+  if (track_allocs) {
+    Profiler::Totals t = Profiler::Aggregate();
+    s.heap_allocs = t.total_heap_allocs;
+    s.heap_bytes = t.total_heap_bytes;
+    s.arena_bytes = t.arena_bytes;
+  }
   s.at = NowSeconds();
   return s;
 }
@@ -169,6 +179,17 @@ std::string DriverResult::Summary() const {
            static_cast<unsigned long long>(retries), wal_mb_per_s,
            seconds);
   std::string out = buf;
+  // Allocation profile of the measured window (tentpole metric of the
+  // allocation-free hot path; see EXPERIMENTS.md Exp 7).
+  if (heap_allocs > 0 || arena_bytes > 0) {
+    snprintf(buf, sizeof(buf),
+             "\n#ALLOC allocs_per_txn=%.1f heap_bytes_per_txn=%.0f "
+             "arena_bytes_per_txn=%.0f heap_allocs=%llu txns=%llu",
+             heap_allocs_per_txn, heap_bytes_per_txn, arena_bytes_per_txn,
+             static_cast<unsigned long long>(heap_allocs),
+             static_cast<unsigned long long>(commits));
+    out += buf;
+  }
   if (!recovery_line.empty()) {
     out += "\n";
     out += recovery_line;
@@ -238,7 +259,11 @@ DriverResult RunTpcc(Workload* w, const DriverConfig& config) {
       std::this_thread::sleep_for(std::chrono::duration<double>(
           config.warmup_seconds));
     }
-    Snapshot start = TakeSnapshot(w);
+    // Alloc tracking covers only the measured window: warmup has already
+    // paid the one-time pool growth (vector capacities, arena blocks), so
+    // the window reflects steady state.
+    if (config.track_allocs) Profiler::EnableAllocTracking(true);
+    Snapshot start = TakeSnapshot(w, config.track_allocs);
     Snapshot last = start;
 
     double deadline = start.at + config.seconds;
@@ -246,7 +271,7 @@ DriverResult RunTpcc(Workload* w, const DriverConfig& config) {
       std::this_thread::sleep_for(std::chrono::milliseconds(
           config.sample_series ? 250 : 50));
       if (config.sample_series) {
-        Snapshot cur = TakeSnapshot(w);
+        Snapshot cur = TakeSnapshot(w, /*track_allocs=*/false);
         double dt = cur.at - last.at;
         if (dt >= 0.9) {
           SeriesPoint pt;
@@ -266,7 +291,8 @@ DriverResult RunTpcc(Workload* w, const DriverConfig& config) {
         }
       }
     }
-    Snapshot end = TakeSnapshot(w);
+    Snapshot end = TakeSnapshot(w, config.track_allocs);
+    if (config.track_allocs) Profiler::EnableAllocTracking(false);
 
     stop_feeding.store(true, std::memory_order_release);
     executor.Stop();
@@ -287,6 +313,15 @@ DriverResult RunTpcc(Workload* w, const DriverConfig& config) {
     result.wal_mb_per_s =
         static_cast<double>(end.wal_bytes - start.wal_bytes) /
         result.seconds / 1e6;
+    if (config.track_allocs && result.commits > 0) {
+      result.heap_allocs = end.heap_allocs - start.heap_allocs;
+      result.heap_bytes = end.heap_bytes - start.heap_bytes;
+      result.arena_bytes = end.arena_bytes - start.arena_bytes;
+      double n = static_cast<double>(result.commits);
+      result.heap_allocs_per_txn = static_cast<double>(result.heap_allocs) / n;
+      result.heap_bytes_per_txn = static_cast<double>(result.heap_bytes) / n;
+      result.arena_bytes_per_txn = static_cast<double>(result.arena_bytes) / n;
+    }
   };
 
   if (config.thread_model) {

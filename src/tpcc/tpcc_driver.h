@@ -34,6 +34,10 @@ struct DriverConfig {
   /// attempts. User-initiated aborts (the 1% NewOrder rollback) are never
   /// retried. 0 disables retries.
   uint32_t max_retries = 5;
+  /// Count heap/arena allocations during the measured window (Profiler
+  /// alloc tracking; the "#ALLOC" summary line). Adds one counted atomic
+  /// increment per allocation while enabled.
+  bool track_allocs = true;
 };
 
 struct SeriesPoint {
@@ -67,6 +71,16 @@ struct DriverResult {
 
   /// "#RECOVERY ..." diagnostic from the database this run started on.
   std::string recovery_line;
+
+  /// Allocation profile of the measured window (whole process, all txn
+  /// types; zero when DriverConfig::track_allocs is off). The "#ALLOC"
+  /// summary line reports the per-committed-transaction rates.
+  uint64_t heap_allocs = 0;
+  uint64_t heap_bytes = 0;
+  uint64_t arena_bytes = 0;
+  double heap_allocs_per_txn = 0;
+  double heap_bytes_per_txn = 0;
+  double arena_bytes_per_txn = 0;
 
   std::string Summary() const;
 };

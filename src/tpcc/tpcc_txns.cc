@@ -1,8 +1,10 @@
 #include "tpcc/tpcc_txns.h"
 
 #include <algorithm>
+#include <cstring>
 #include <set>
 
+#include "common/arena.h"
 #include "common/clock.h"
 #include "common/profiler.h"
 
@@ -14,6 +16,51 @@ namespace {
 constexpr int64_t kNowDate = 1742860800000000;  // 2025-03-25 in micros
 
 Value I32V(int32_t v) { return Value::Int32(v); }
+
+/// Index-key probe helpers: refill `k` in place so one hoisted vector is
+/// reused across every probe of a transaction (steady state performs zero
+/// key-vector allocations; Value::Int32 never heap-allocates).
+const std::vector<Value>& Key1(std::vector<Value>* k, int32_t a) {
+  k->clear();
+  k->push_back(I32V(a));
+  return *k;
+}
+
+const std::vector<Value>& Key2(std::vector<Value>* k, int32_t a, int32_t b) {
+  k->clear();
+  k->push_back(I32V(a));
+  k->push_back(I32V(b));
+  return *k;
+}
+
+const std::vector<Value>& Key3(std::vector<Value>* k, int32_t a, int32_t b,
+                               int32_t c) {
+  k->clear();
+  k->push_back(I32V(a));
+  k->push_back(I32V(b));
+  k->push_back(I32V(c));
+  return *k;
+}
+
+const std::vector<Value>& Key3S(std::vector<Value>* k, int32_t a, int32_t b,
+                                const std::string& c) {
+  k->clear();
+  k->push_back(I32V(a));
+  k->push_back(I32V(b));
+  k->push_back(Value::StringRef(Slice(c)));
+  return *k;
+}
+
+/// Concatenates two borrowed strings (plus a separator) in the transaction
+/// arena; the result lives until the slot's next Begin.
+Slice ArenaConcat(Arena* arena, Slice a, const char* sep, size_t sep_len,
+                  Slice b) {
+  char* buf = arena->Allocate(a.size() + sep_len + b.size());
+  if (!a.empty()) memcpy(buf, a.data(), a.size());
+  memcpy(buf + a.size(), sep, sep_len);
+  if (!b.empty()) memcpy(buf + a.size() + sep_len, b.data(), b.size());
+  return Slice(buf, a.size() + sep_len + b.size());
+}
 
 /// Abort helper: rolls back and classifies the failure.
 Status AbortWith(Workload* w, TaskEnv* env, Transaction* txn, Status st,
@@ -138,6 +185,13 @@ StockLevelParams MakeStockLevelParams(TpccRandom* rnd, int32_t w_id) {
 
 // ---------------------------------------------------------------------------
 // NewOrder (clause 2.4)
+//
+// Allocation-free hot path: every row read borrows the transaction arena
+// (IndexGetRef), every built row is encoded into it (EncodeTo(Arena*)), and
+// the single hoisted key vector plus the hoisted order-line RowBuilder are
+// reused across all probe/insert iterations. Steady state performs a handful
+// of heap allocations per transaction (coroutine frame, sets vector) instead
+// of one per row/key/delta (#ALLOC in the driver summary quantifies this).
 // ---------------------------------------------------------------------------
 
 TxnTask NewOrderTxn(Workload* w, TaskEnv* env, NewOrderParams p) {
@@ -148,20 +202,21 @@ TxnTask NewOrderTxn(Workload* w, TaskEnv* env, NewOrderParams p) {
   Transaction* txn = db->BeginDefault(env->global_slot_id);
   db->StatementBegin(txn);
   Status st;
+  Arena* arena = db->ScratchArena(txn);
+  std::vector<Value> key;  // reused by every index probe below
 
   // Warehouse tax.
-  RowId w_rid = 0;
-  std::string w_row;
-  TPCC_OP(t.warehouse->IndexGet(ctx, txn, Tables::kPk, {I32V(p.w_id)}, &w_rid,
-                                &w_row));
+  Slice w_row;
+  TPCC_OP(t.warehouse->IndexGetRef(ctx, txn, Tables::kPk, Key1(&key, p.w_id),
+                                   nullptr, &w_row));
   double w_tax = RowView(&t.warehouse->schema(), w_row.data())
                      .GetDouble(Warehouse::kTax);
 
   // District: read tax and atomically fetch-and-increment next_o_id.
   RowId d_rid = 0;
-  TPCC_OP(t.district->IndexGet(ctx, txn, Tables::kPk,
-                               {I32V(p.w_id), I32V(p.d_id)}, &d_rid,
-                               nullptr));
+  TPCC_OP(t.district->IndexGetRef(ctx, txn, Tables::kPk,
+                                  Key2(&key, p.w_id, p.d_id), &d_rid,
+                                  nullptr));
   double d_tax = 0;
   int32_t o_id = 0;
   TPCC_OP(t.district->UpdateApply(
@@ -175,11 +230,10 @@ TxnTask NewOrderTxn(Workload* w, TaskEnv* env, NewOrderParams p) {
       }));
 
   // Customer discount / last / credit.
-  RowId c_rid = 0;
-  std::string c_row;
-  TPCC_OP(t.customer->IndexGet(ctx, txn, Tables::kPk,
-                               {I32V(p.w_id), I32V(p.d_id), I32V(p.c_id)},
-                               &c_rid, &c_row));
+  Slice c_row;
+  TPCC_OP(t.customer->IndexGetRef(ctx, txn, Tables::kPk,
+                                  Key3(&key, p.w_id, p.d_id, p.c_id), nullptr,
+                                  &c_row));
   double c_discount =
       RowView(&t.customer->schema(), c_row.data())
           .GetDouble(Customer::kDiscount);
@@ -199,7 +253,7 @@ TxnTask NewOrderTxn(Workload* w, TaskEnv* env, NewOrderParams p) {
         .SetNull(Order::kCarrierId)
         .SetInt32(Order::kOlCnt, p.ol_cnt)
         .SetInt32(Order::kAllLocal, all_local ? 1 : 0);
-    Result<std::string> row = b.Encode();
+    Result<Slice> row = b.EncodeTo(arena);
     if (!row.ok()) co_return AbortWith(w, env, txn, row.status());
     RowId rid = 0;
     TPCC_OP(t.order->Insert(ctx, txn, row.value(), &rid));
@@ -209,35 +263,41 @@ TxnTask NewOrderTxn(Workload* w, TaskEnv* env, NewOrderParams p) {
     b.SetInt32(NewOrder::kOId, o_id)
         .SetInt32(NewOrder::kDId, p.d_id)
         .SetInt32(NewOrder::kWId, p.w_id);
-    Result<std::string> row = b.Encode();
+    Result<Slice> row = b.EncodeTo(arena);
     if (!row.ok()) co_return AbortWith(w, env, txn, row.status());
     RowId rid = 0;
     TPCC_OP(t.new_order->Insert(ctx, txn, row.value(), &rid));
   }
 
-  // Order lines.
+  // Order lines. One RowBuilder serves all lines: every column is re-set
+  // each iteration, so reuse is safe and saves two vector allocations per
+  // line.
   double total = 0;
+  RowBuilder ol(&t.order_line->schema());
   for (int i = 0; i < p.ol_cnt; ++i) {
     const auto& line = p.lines[i];
-    RowId i_rid = 0;
-    std::string i_row;
-    PHOEBE_CO_AWAIT(st, t.item->IndexGet(ctx, txn, Tables::kPk,
-                                         {I32V(line.i_id)}, &i_rid, &i_row));
+    Slice i_row;
+    PHOEBE_CO_AWAIT(st,
+                    t.item->IndexGetRef(ctx, txn, Tables::kPk,
+                                        Key1(&key, line.i_id), nullptr,
+                                        &i_row));
     if (st.IsNotFound()) {
       // Clause 2.4.2.3: unused item -> user-initiated rollback.
       co_return AbortWith(w, env, txn, Status::Aborted("unused item"),
                           /*user_initiated=*/true);
     }
     if (!st.ok()) co_return AbortWith(w, env, txn, st);
-    RowView i_view(&t.item->schema(), i_row.data());
-    double i_price = i_view.GetDouble(Item::kPrice);
+    double i_price =
+        RowView(&t.item->schema(), i_row.data()).GetDouble(Item::kPrice);
 
     RowId s_rid = 0;
-    TPCC_OP(t.stock->IndexGet(ctx, txn, Tables::kPk,
-                              {I32V(line.supply_w_id), I32V(line.i_id)},
-                              &s_rid, nullptr));
+    TPCC_OP(t.stock->IndexGetRef(ctx, txn, Tables::kPk,
+                                 Key2(&key, line.supply_w_id, line.i_id),
+                                 &s_rid, nullptr));
     uint32_t dist_col = Stock::kDist01 + static_cast<uint32_t>(p.d_id - 1);
-    std::string dist_info;
+    // Borrows the arena-backed stock row read under UpdateApply's latch;
+    // stays valid until the slot's next Begin (DESIGN.md 4g).
+    Slice dist_info;
     bool remote = line.supply_w_id != p.w_id;
     TPCC_OP(t.stock->UpdateApply(
         ctx, txn, s_rid,
@@ -245,7 +305,7 @@ TxnTask NewOrderTxn(Workload* w, TaskEnv* env, NewOrderParams p) {
             RowView cur, std::vector<std::pair<uint32_t, Value>>* sets) {
           int32_t new_qty = cur.GetInt32(Stock::kQuantity) - line.quantity;
           if (new_qty < 10) new_qty += 91;
-          dist_info = cur.GetString(dist_col).ToString();
+          dist_info = cur.GetString(dist_col);
           sets->push_back({Stock::kQuantity, I32V(new_qty)});
           sets->push_back(
               {Stock::kYtd,
@@ -261,8 +321,7 @@ TxnTask NewOrderTxn(Workload* w, TaskEnv* env, NewOrderParams p) {
 
     double amount = line.quantity * i_price;
     total += amount;
-    RowBuilder b(&t.order_line->schema());
-    b.SetInt32(OrderLine::kOId, o_id)
+    ol.SetInt32(OrderLine::kOId, o_id)
         .SetInt32(OrderLine::kDId, p.d_id)
         .SetInt32(OrderLine::kWId, p.w_id)
         .SetInt32(OrderLine::kNumber, i + 1)
@@ -271,8 +330,8 @@ TxnTask NewOrderTxn(Workload* w, TaskEnv* env, NewOrderParams p) {
         .SetNull(OrderLine::kDeliveryD)
         .SetInt32(OrderLine::kQuantity, line.quantity)
         .SetDouble(OrderLine::kAmount, amount)
-        .SetString(OrderLine::kDistInfo, dist_info);
-    Result<std::string> row = b.Encode();
+        .SetStringRef(OrderLine::kDistInfo, dist_info);
+    Result<Slice> row = ol.EncodeTo(arena);
     if (!row.ok()) co_return AbortWith(w, env, txn, row.status());
     RowId rid = 0;
     TPCC_OP(t.order_line->Insert(ctx, txn, row.value(), &rid));
@@ -301,17 +360,20 @@ TxnTask PaymentTxn(Workload* w, TaskEnv* env, PaymentParams p) {
   Transaction* txn = db->BeginDefault(env->global_slot_id);
   db->StatementBegin(txn);
   Status st;
+  Arena* arena = db->ScratchArena(txn);
+  std::vector<Value> key;
 
-  // Warehouse: atomically ytd += amount; read the name while there.
+  // Warehouse: atomically ytd += amount; read the name while there. The
+  // name slice borrows the arena-backed row read under the update latch.
   RowId w_rid = 0;
-  TPCC_OP(t.warehouse->IndexGet(ctx, txn, Tables::kPk, {I32V(p.w_id)}, &w_rid,
-                                nullptr));
-  std::string w_name;
+  TPCC_OP(t.warehouse->IndexGetRef(ctx, txn, Tables::kPk, Key1(&key, p.w_id),
+                                   &w_rid, nullptr));
+  Slice w_name;
   TPCC_OP(t.warehouse->UpdateApply(
       ctx, txn, w_rid,
       [&w_name, &p](RowView cur,
                     std::vector<std::pair<uint32_t, Value>>* sets) {
-        w_name = cur.GetString(Warehouse::kName).ToString();
+        w_name = cur.GetString(Warehouse::kName);
         sets->push_back(
             {Warehouse::kYtd,
              Value::Double(cur.GetDouble(Warehouse::kYtd) + p.amount)});
@@ -320,15 +382,15 @@ TxnTask PaymentTxn(Workload* w, TaskEnv* env, PaymentParams p) {
 
   // District: atomically ytd += amount.
   RowId d_rid = 0;
-  TPCC_OP(t.district->IndexGet(ctx, txn, Tables::kPk,
-                               {I32V(p.w_id), I32V(p.d_id)}, &d_rid,
-                               nullptr));
-  std::string d_name;
+  TPCC_OP(t.district->IndexGetRef(ctx, txn, Tables::kPk,
+                                  Key2(&key, p.w_id, p.d_id), &d_rid,
+                                  nullptr));
+  Slice d_name;
   TPCC_OP(t.district->UpdateApply(
       ctx, txn, d_rid,
       [&d_name, &p](RowView cur,
                     std::vector<std::pair<uint32_t, Value>>* sets) {
-        d_name = cur.GetString(District::kName).ToString();
+        d_name = cur.GetString(District::kName);
         sets->push_back(
             {District::kYtd,
              Value::Double(cur.GetDouble(District::kYtd) + p.amount)});
@@ -337,13 +399,14 @@ TxnTask PaymentTxn(Workload* w, TaskEnv* env, PaymentParams p) {
 
   // Customer selection (60% by last name -> middle row).
   RowId c_rid = 0;
-  std::string c_row;
+  Slice c_row;
   if (p.by_name) {
-    std::vector<std::pair<RowId, std::string>> matches;
-    TPCC_OP(t.customer->IndexScan(
+    // Row slices stay valid across callbacks (they borrow the txn arena).
+    std::vector<std::pair<RowId, Slice>> matches;
+    TPCC_OP(t.customer->IndexScanRef(
         ctx, txn, Tables::kCustByName,
-        {I32V(p.c_w_id), I32V(p.c_d_id), Value::String(p.c_last)}, {},
-        [&matches](RowId rid, const std::string& row) {
+        Key3S(&key, p.c_w_id, p.c_d_id, p.c_last), {},
+        [&matches](RowId rid, Slice row) {
           matches.emplace_back(rid, row);
           return true;
         }));
@@ -352,11 +415,11 @@ TxnTask PaymentTxn(Workload* w, TaskEnv* env, PaymentParams p) {
     }
     size_t pick = matches.size() / 2;  // ceil(n/2) with 0-based index
     c_rid = matches[pick].first;
-    c_row = std::move(matches[pick].second);
+    c_row = matches[pick].second;
   } else {
-    TPCC_OP(t.customer->IndexGet(
-        ctx, txn, Tables::kPk,
-        {I32V(p.c_w_id), I32V(p.c_d_id), I32V(p.c_id)}, &c_rid, &c_row));
+    TPCC_OP(t.customer->IndexGetRef(
+        ctx, txn, Tables::kPk, Key3(&key, p.c_w_id, p.c_d_id, p.c_id), &c_rid,
+        &c_row));
   }
   int32_t c_id =
       RowView(&t.customer->schema(), c_row.data()).GetInt32(Customer::kId);
@@ -373,7 +436,8 @@ TxnTask PaymentTxn(Workload* w, TaskEnv* env, PaymentParams p) {
         sets->push_back({Customer::kPaymentCnt,
                          I32V(cur.GetInt32(Customer::kPaymentCnt) + 1)});
         if (cur.GetString(Customer::kCredit) == Slice("BC")) {
-          // Bad credit: prepend the payment info (clause 2.5.2.2).
+          // Bad credit: prepend the payment info (clause 2.5.2.2). Rare
+          // (10% of customers) -> the std::string build is acceptable.
           std::string data =
               std::to_string(c_id) + " " + std::to_string(p.c_d_id) + " " +
               std::to_string(p.c_w_id) + " " + std::to_string(p.d_id) + " " +
@@ -395,8 +459,9 @@ TxnTask PaymentTxn(Workload* w, TaskEnv* env, PaymentParams p) {
         .SetInt32(History::kWId, p.w_id)
         .SetInt64(History::kDate, kNowDate)
         .SetDouble(History::kAmount, p.amount)
-        .SetString(History::kData, w_name + "    " + d_name);
-    Result<std::string> row = b.Encode();
+        .SetStringRef(History::kData,
+                      ArenaConcat(arena, w_name, "    ", 4, d_name));
+    Result<Slice> row = b.EncodeTo(arena);
     if (!row.ok()) co_return AbortWith(w, env, txn, row.status());
     RowId rid = 0;
     TPCC_OP(t.history->Insert(ctx, txn, row.value(), &rid));
@@ -423,15 +488,16 @@ TxnTask OrderStatusTxn(Workload* w, TaskEnv* env, OrderStatusParams p) {
   Transaction* txn = db->BeginDefault(env->global_slot_id);
   db->StatementBegin(txn);
   Status st;
+  std::vector<Value> key;
 
   RowId c_rid = 0;
-  std::string c_row;
+  Slice c_row;
   if (p.by_name) {
-    std::vector<std::pair<RowId, std::string>> matches;
-    TPCC_OP(t.customer->IndexScan(
+    std::vector<std::pair<RowId, Slice>> matches;
+    TPCC_OP(t.customer->IndexScanRef(
         ctx, txn, Tables::kCustByName,
-        {I32V(p.w_id), I32V(p.d_id), Value::String(p.c_last)}, {},
-        [&matches](RowId rid, const std::string& row) {
+        Key3S(&key, p.w_id, p.d_id, p.c_last), {},
+        [&matches](RowId rid, Slice row) {
           matches.emplace_back(rid, row);
           return true;
         }));
@@ -440,23 +506,21 @@ TxnTask OrderStatusTxn(Workload* w, TaskEnv* env, OrderStatusParams p) {
     }
     size_t pick = matches.size() / 2;
     c_rid = matches[pick].first;
-    c_row = std::move(matches[pick].second);
+    c_row = matches[pick].second;
   } else {
-    TPCC_OP(t.customer->IndexGet(ctx, txn, Tables::kPk,
-                                 {I32V(p.w_id), I32V(p.d_id), I32V(p.c_id)},
-                                 &c_rid, &c_row));
+    TPCC_OP(t.customer->IndexGetRef(ctx, txn, Tables::kPk,
+                                    Key3(&key, p.w_id, p.d_id, p.c_id),
+                                    &c_rid, &c_row));
   }
-  int32_t c_id = RowView(&t.customer->schema(), c_row.data())
-                     .GetInt32(Customer::kId);
+  (void)c_rid;
+  int32_t c_id =
+      RowView(&t.customer->schema(), c_row.data()).GetInt32(Customer::kId);
 
   // Latest order of the customer (max o_id).
-  RowId last_order_rid = 0;
-  std::string last_order;
-  TPCC_OP(t.order->IndexScan(
-      ctx, txn, Tables::kOrderByCust,
-      {I32V(p.w_id), I32V(p.d_id), I32V(c_id)}, {},
-      [&](RowId rid, const std::string& row) {
-        last_order_rid = rid;
+  Slice last_order;
+  TPCC_OP(t.order->IndexScanRef(
+      ctx, txn, Tables::kOrderByCust, Key3(&key, p.w_id, p.d_id, c_id), {},
+      [&last_order](RowId, Slice row) {
         last_order = row;
         return true;  // keep going: last match = max o_id
       }));
@@ -468,9 +532,9 @@ TxnTask OrderStatusTxn(Workload* w, TaskEnv* env, OrderStatusParams p) {
 
   // Its order lines.
   int line_count = 0;
-  TPCC_OP(t.order_line->IndexScan(
-      ctx, txn, Tables::kPk, {I32V(p.w_id), I32V(p.d_id), I32V(o_id)}, {},
-      [&line_count](RowId, const std::string&) {
+  TPCC_OP(t.order_line->IndexScanRef(
+      ctx, txn, Tables::kPk, Key3(&key, p.w_id, p.d_id, o_id), {},
+      [&line_count](RowId, Slice) {
         ++line_count;
         return true;
       }));
@@ -497,14 +561,16 @@ TxnTask DeliveryTxn(Workload* w, TaskEnv* env, DeliveryParams p) {
   Transaction* txn = db->BeginDefault(env->global_slot_id);
   db->StatementBegin(txn);
   Status st;
+  std::vector<Value> key;
+  std::vector<RowId> ol_rids;  // reused per district
 
   for (int32_t d_id = 1; d_id <= w->scale.districts_per_warehouse; ++d_id) {
     // Oldest undelivered order of this district.
     RowId no_rid = 0;
     int32_t o_id = -1;
-    TPCC_OP(t.new_order->IndexScan(
-        ctx, txn, Tables::kPk, {I32V(p.w_id), I32V(d_id)}, {},
-        [&](RowId rid, const std::string& row) {
+    TPCC_OP(t.new_order->IndexScanRef(
+        ctx, txn, Tables::kPk, Key2(&key, p.w_id, d_id), {},
+        [&](RowId rid, Slice row) {
           no_rid = rid;
           o_id = RowView(&t.new_order->schema(), row.data())
                      .GetInt32(NewOrder::kOId);
@@ -519,10 +585,10 @@ TxnTask DeliveryTxn(Workload* w, TaskEnv* env, DeliveryParams p) {
 
     // Order: set carrier, read customer.
     RowId o_rid = 0;
-    std::string o_row;
-    TPCC_OP(t.order->IndexGet(ctx, txn, Tables::kPk,
-                              {I32V(p.w_id), I32V(d_id), I32V(o_id)}, &o_rid,
-                              &o_row));
+    Slice o_row;
+    TPCC_OP(t.order->IndexGetRef(ctx, txn, Tables::kPk,
+                                 Key3(&key, p.w_id, d_id, o_id), &o_rid,
+                                 &o_row));
     int32_t c_id =
         RowView(&t.order->schema(), o_row.data()).GetInt32(Order::kCId);
     TPCC_OP(t.order->Update(ctx, txn, o_rid,
@@ -530,10 +596,10 @@ TxnTask DeliveryTxn(Workload* w, TaskEnv* env, DeliveryParams p) {
 
     // Order lines: set delivery date, sum amounts.
     double total = 0;
-    std::vector<RowId> ol_rids;
-    TPCC_OP(t.order_line->IndexScan(
-        ctx, txn, Tables::kPk, {I32V(p.w_id), I32V(d_id), I32V(o_id)}, {},
-        [&](RowId rid, const std::string& row) {
+    ol_rids.clear();
+    TPCC_OP(t.order_line->IndexScanRef(
+        ctx, txn, Tables::kPk, Key3(&key, p.w_id, d_id, o_id), {},
+        [&](RowId rid, Slice row) {
           total += RowView(&t.order_line->schema(), row.data())
                        .GetDouble(OrderLine::kAmount);
           ol_rids.push_back(rid);
@@ -546,9 +612,9 @@ TxnTask DeliveryTxn(Workload* w, TaskEnv* env, DeliveryParams p) {
 
     // Customer: balance += total, delivery_cnt += 1.
     RowId c_rid = 0;
-    TPCC_OP(t.customer->IndexGet(ctx, txn, Tables::kPk,
-                                 {I32V(p.w_id), I32V(d_id), I32V(c_id)},
-                                 &c_rid, nullptr));
+    TPCC_OP(t.customer->IndexGetRef(ctx, txn, Tables::kPk,
+                                    Key3(&key, p.w_id, d_id, c_id), &c_rid,
+                                    nullptr));
     TPCC_OP(t.customer->UpdateApply(
         ctx, txn, c_rid,
         [total](RowView cur,
@@ -583,11 +649,14 @@ TxnTask StockLevelTxn(Workload* w, TaskEnv* env, StockLevelParams p) {
   Transaction* txn = db->BeginDefault(env->global_slot_id);
   db->StatementBegin(txn);
   Status st;
+  std::vector<Value> key;
+  std::vector<Value> hi_key;
 
   RowId d_rid = 0;
-  std::string d_row;
-  TPCC_OP(t.district->IndexGet(ctx, txn, Tables::kPk,
-                               {I32V(p.w_id), I32V(p.d_id)}, &d_rid, &d_row));
+  Slice d_row;
+  TPCC_OP(t.district->IndexGetRef(ctx, txn, Tables::kPk,
+                                  Key2(&key, p.w_id, p.d_id), &d_rid,
+                                  &d_row));
   int32_t next_o_id =
       RowView(&t.district->schema(), d_row.data())
           .GetInt32(District::kNextOId);
@@ -595,11 +664,10 @@ TxnTask StockLevelTxn(Workload* w, TaskEnv* env, StockLevelParams p) {
   // Items of the last 20 orders.
   std::set<int32_t> item_ids;
   int32_t lo_o_id = std::max(1, next_o_id - 20);
-  TPCC_OP(t.order_line->IndexScan(
-      ctx, txn, Tables::kPk,
-      {I32V(p.w_id), I32V(p.d_id), I32V(lo_o_id)},
-      {I32V(p.w_id), I32V(p.d_id), I32V(next_o_id)},
-      [&](RowId, const std::string& row) {
+  TPCC_OP(t.order_line->IndexScanRef(
+      ctx, txn, Tables::kPk, Key3(&key, p.w_id, p.d_id, lo_o_id),
+      Key3(&hi_key, p.w_id, p.d_id, next_o_id),
+      [&](RowId, Slice row) {
         item_ids.insert(RowView(&t.order_line->schema(), row.data())
                             .GetInt32(OrderLine::kIId));
         return true;
@@ -607,11 +675,10 @@ TxnTask StockLevelTxn(Workload* w, TaskEnv* env, StockLevelParams p) {
 
   int low_stock = 0;
   for (int32_t i_id : item_ids) {
-    RowId s_rid = 0;
-    std::string s_row;
-    PHOEBE_CO_AWAIT(st, t.stock->IndexGet(ctx, txn, Tables::kPk,
-                                          {I32V(p.w_id), I32V(i_id)}, &s_rid,
-                                          &s_row));
+    Slice s_row;
+    PHOEBE_CO_AWAIT(st, t.stock->IndexGetRef(ctx, txn, Tables::kPk,
+                                             Key2(&key, p.w_id, i_id),
+                                             nullptr, &s_row));
     if (st.IsNotFound()) continue;
     if (!st.ok()) co_return AbortWith(w, env, txn, st);
     if (RowView(&t.stock->schema(), s_row.data())

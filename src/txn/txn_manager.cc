@@ -4,8 +4,25 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cassert>
+#include <thread>
 
 #include "common/profiler.h"
+
+namespace {
+
+void SpinLock(std::atomic_flag& f) {
+  int spins = 0;
+  while (f.test_and_set(std::memory_order_acquire)) {
+    if (++spins >= 1024) {
+      std::this_thread::yield();
+      spins = 0;
+    }
+  }
+}
+
+void SpinUnlock(std::atomic_flag& f) { f.clear(std::memory_order_release); }
+
+}  // namespace
 
 namespace phoebe {
 
@@ -66,6 +83,10 @@ Transaction* TxnManager::BeginOnSlot(uint32_t slot_id, IsolationLevel iso) {
             slot_id);
     abort();
   }
+
+  // The previous transaction on this slot is finished, so nothing can still
+  // reference its scratch memory legitimately; reclaim it for this one.
+  s.scratch.Reset();
 
   // Begin protocol (see DESIGN.md / GC discussion): publish a conservative
   // lower bound + pending marker BEFORE allocating the real timestamp, so a
@@ -201,42 +222,55 @@ size_t TxnManager::RunUndoGc(uint32_t slot_id) {
   return n;
 }
 
-void TxnManager::RegisterTwin(BufferFrame* bf) {
-  std::lock_guard<std::mutex> lk(twin_mu_);
-  twin_frames_.push_back(bf);
+void TxnManager::RegisterTwin(RelationId relation, BufferFrame* bf) {
+  // Steady-state fast path: repeat writers to an already-attached page see
+  // the flag and never touch the shard. The caller holds the frame's
+  // exclusive latch, which serializes this exchange against the sweeper's
+  // flag-clear (also done under that latch), so a true result always means
+  // the frame really is in some shard's list.
+  if (bf->twin_registered.exchange(true, std::memory_order_acq_rel)) return;
+  TwinShard& shard = twin_shards_[TwinShardOf(relation)];
+  SpinLock(shard.lock);
+  shard.frames.push_back(bf);
+  SpinUnlock(shard.lock);
 }
 
 size_t TxnManager::SweepTwinTables() {
   ComponentScope prof(Component::kGc);
-  std::vector<BufferFrame*> frames;
-  {
-    std::lock_guard<std::mutex> lk(twin_mu_);
-    frames.swap(twin_frames_);
-  }
   size_t destroyed = 0;
+  std::vector<BufferFrame*> frames;
   std::vector<BufferFrame*> keep;
-  for (BufferFrame* bf : frames) {
-    TwinTable* t = TwinTable::Of(bf);
-    if (t == nullptr) {
-      ++destroyed;  // already gone
-      continue;
-    }
-    bool freed = false;
-    if (t->AllChainsDead() && bf->latch.TryLockExclusive()) {
-      // Re-verify under the latch: a writer may have raced in.
-      TwinTable* cur = TwinTable::Of(bf);
-      if (cur == t && t->AllChainsDead()) {
-        TwinTable::Destroy(bf);
-        freed = true;
-        ++destroyed;
+  for (TwinShard& shard : twin_shards_) {
+    frames.clear();
+    keep.clear();
+    SpinLock(shard.lock);
+    frames.swap(shard.frames);
+    SpinUnlock(shard.lock);
+    for (BufferFrame* bf : frames) {
+      TwinTable* t = TwinTable::Of(bf);
+      bool freed = false;
+      if ((t == nullptr || t->AllChainsDead()) &&
+          bf->latch.TryLockExclusive()) {
+        // Re-verify under the latch: a writer may have raced in. Clearing
+        // the registration flag must also happen under the latch, before
+        // the frame leaves the registry, so a concurrent RegisterTwin can
+        // never see a stale flag on an unlisted frame.
+        TwinTable* cur = TwinTable::Of(bf);
+        if (cur == nullptr || (cur == t && t->AllChainsDead())) {
+          if (cur != nullptr) TwinTable::Destroy(bf);
+          bf->twin_registered.store(false, std::memory_order_release);
+          freed = true;
+          ++destroyed;
+        }
+        bf->latch.UnlockExclusive();
       }
-      bf->latch.UnlockExclusive();
+      if (!freed) keep.push_back(bf);
     }
-    if (!freed) keep.push_back(bf);
-  }
-  if (!keep.empty()) {
-    std::lock_guard<std::mutex> lk(twin_mu_);
-    for (BufferFrame* bf : keep) twin_frames_.push_back(bf);
+    if (!keep.empty()) {
+      SpinLock(shard.lock);
+      for (BufferFrame* bf : keep) shard.frames.push_back(bf);
+      SpinUnlock(shard.lock);
+    }
   }
   return destroyed;
 }

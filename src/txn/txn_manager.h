@@ -1,6 +1,7 @@
 #ifndef PHOEBE_TXN_TXN_MANAGER_H_
 #define PHOEBE_TXN_TXN_MANAGER_H_
 
+#include <array>
 #include <atomic>
 #include <condition_variable>
 #include <functional>
@@ -9,6 +10,7 @@
 #include <vector>
 
 #include "buffer/buffer_frame.h"
+#include "common/arena.h"
 #include "common/constants.h"
 #include "common/status.h"
 #include "txn/clock.h"
@@ -42,6 +44,12 @@ class TxnManager {
 
     Transaction txn;
     UndoArena arena;
+
+    /// Per-transaction scratch arena for the allocation-free hot path
+    /// (encoded rows, keys, visibility-chain assembly). Reset at Begin —
+    /// NOT at commit, so slices handed to the procedure survive Commit()
+    /// (DESIGN.md §4g).
+    Arena scratch;
 
     /// Wakeup channel for the transaction-ID lock: waiters block here until
     /// this slot's transaction finishes (sync mode).
@@ -143,11 +151,15 @@ class TxnManager {
   /// the number of records reclaimed.
   size_t RunUndoGc(uint32_t slot_id);
 
-  /// Registers a page frame that received a twin table.
-  void RegisterTwin(BufferFrame* bf);
+  /// Registers a page frame that received a twin table, in the registry
+  /// shard picked by `relation`'s hash. Steady-state fast path: a frame
+  /// already in the registry (twin_registered flag) returns without touching
+  /// the shard lock. Caller holds the frame's exclusive latch (which is what
+  /// serializes the flag against the sweeper).
+  void RegisterTwin(RelationId relation, BufferFrame* bf);
 
-  /// Sweeps registered twin tables, destroying the reclaimable ones
-  /// (all chains dead). Returns the number destroyed.
+  /// Sweeps registered twin tables shard by shard, destroying the
+  /// reclaimable ones (all chains dead). Returns the number destroyed.
   size_t SweepTwinTables();
 
   /// Total live UNDO records across slots (memory pressure signal).
@@ -170,8 +182,20 @@ class TxnManager {
   std::function<void(Xid)> on_finish_;
   ReclaimHook reclaim_hook_;
 
-  std::mutex twin_mu_;
-  std::vector<BufferFrame*> twin_frames_;
+  /// Twin-table registry, sharded by RelationId hash so concurrent writers
+  /// attaching twins to different tables never contend on one mutex. The
+  /// per-shard spinlock guards a push_back/swap critical section of a few
+  /// instructions; padding keeps shards on distinct cache lines.
+  static constexpr size_t kTwinShards = 16;
+  struct alignas(64) TwinShard {
+    std::atomic_flag lock = ATOMIC_FLAG_INIT;
+    std::vector<BufferFrame*> frames;
+  };
+  static size_t TwinShardOf(RelationId relation) {
+    return (static_cast<uint64_t>(relation) * 0x9E3779B97F4A7C15ull >> 60) &
+           (kTwinShards - 1);
+  }
+  std::array<TwinShard, kTwinShards> twin_shards_;
 };
 
 }  // namespace phoebe

@@ -6,19 +6,22 @@ namespace phoebe {
 
 namespace {
 
-/// Snapshot of an UndoRecord's fields taken under the stamp protocol.
+/// Snapshot of an UndoRecord's fields taken under the stamp protocol. The
+/// delta is copied into the chain walker's arena (the record's own bytes may
+/// be recycled at any moment); CheckWriteConflict never reads the delta and
+/// skips the copy by passing a null arena.
 struct RecordCopy {
   UndoKind kind;
   uint64_t sts;
   uint64_t ets;
   UndoRecord* next;
-  std::string delta;
+  Slice delta;
 };
 
 /// Copies `rec` if it is live and matches (relation, rid); re-validates the
 /// stamp after copying so torn reads from a concurrent recycle are rejected.
 bool CopyRecord(const UndoRecord* rec, RelationId relation, RowId rid,
-                RecordCopy* out) {
+                Arena* arena, RecordCopy* out) {
   uint64_t stamp = 0;
   if (!rec->IsLive(&stamp)) return false;
   if (rec->relation != relation || rec->rid != rid) return false;
@@ -26,7 +29,13 @@ bool CopyRecord(const UndoRecord* rec, RelationId relation, RowId rid,
   out->sts = rec->sts.load(std::memory_order_acquire);
   out->ets = rec->ets.load(std::memory_order_acquire);
   out->next = rec->next.load(std::memory_order_acquire);
-  out->delta.assign(rec->delta_data(), rec->delta_len);
+  if (arena != nullptr) {
+    // Copy before the stamp re-check: a failed check discards the copy, a
+    // passed check proves the copied bytes were consistent.
+    out->delta = arena->Copy(Slice(rec->delta_data(), rec->delta_len));
+  } else {
+    out->delta = Slice();
+  }
   return rec->StampUnchanged(stamp);
 }
 
@@ -35,13 +44,15 @@ bool CopyRecord(const UndoRecord* rec, RelationId relation, RowId rid,
 Status RetrieveVisibleVersion(const Schema& schema, Xid xid,
                               Timestamp snapshot, Slice base_row,
                               bool base_deleted, TwinTable::Entry* entry,
-                              RelationId relation, RowId rid,
+                              RelationId relation, RowId rid, Arena* arena,
                               VisibleVersion* out) {
   ComponentScope prof(Component::kMvcc);
-  // Lines 1-2: no twin table -> the tuple itself is visible.
+  // Lines 1-2: no twin table -> the tuple itself is visible. The row slice
+  // borrows the caller's base_row bytes — no copy (the common OLTP case).
   auto base_visible = [&]() {
     out->exists = !base_deleted;
-    if (out->exists) out->row.assign(base_row.data(), base_row.size());
+    out->assembled = false;
+    if (out->exists) out->row = base_row;
     return Status::OK();
   };
   if (entry == nullptr) return base_visible();
@@ -51,7 +62,7 @@ Status RetrieveVisibleVersion(const Schema& schema, Xid xid,
     // Lines 3-4: null or reclaimed header -> base visible.
     if (head == nullptr) return base_visible();
     RecordCopy hc;
-    if (!CopyRecord(head, relation, rid, &hc)) return base_visible();
+    if (!CopyRecord(head, relation, rid, arena, &hc)) return base_visible();
 
     // Line 4: header ets committed at/before our snapshot, or our own write.
     if (!IsXid(hc.ets)) {
@@ -60,19 +71,21 @@ Status RetrieveVisibleVersion(const Schema& schema, Xid xid,
       return base_visible();
     }
 
-    // Lines 5-9: walk the chain assembling before images.
+    // Lines 5-9: walk the chain assembling before images in the arena.
     bool torn = false;
-    std::string tuple(base_row.data(), base_row.size());
+    Slice tuple = base_row;
     bool exists = !base_deleted;
+    bool assembled = false;
     RecordCopy cur = hc;
     for (;;) {
       // Assemble cur's before image into the running tuple.
       switch (cur.kind) {
         case UndoKind::kUpdate: {
-          Result<std::string> prev =
-              DeltaCodec::ApplyDelta(schema, tuple, cur.delta);
+          Result<Slice> prev =
+              DeltaCodec::ApplyDeltaTo(schema, tuple, cur.delta, arena);
           if (!prev.ok()) return prev.status();
-          tuple = std::move(prev.value());
+          tuple = prev.value();
+          assembled = true;
           exists = true;
           break;
         }
@@ -87,7 +100,8 @@ Status RetrieveVisibleVersion(const Schema& schema, Xid xid,
       }
       if (cur.sts <= snapshot) {
         out->exists = exists;
-        out->row = exists ? std::move(tuple) : std::string();
+        out->row = exists ? tuple : Slice();
+        out->assembled = exists && assembled;
         return Status::OK();
       }
       if (cur.next == nullptr) {
@@ -97,7 +111,7 @@ Status RetrieveVisibleVersion(const Schema& schema, Xid xid,
         break;
       }
       RecordCopy next_copy;
-      if (!CopyRecord(cur.next, relation, rid, &next_copy)) {
+      if (!CopyRecord(cur.next, relation, rid, arena, &next_copy)) {
         torn = true;  // next reclaimed mid-walk; retry
         break;
       }
@@ -115,7 +129,9 @@ Status CheckWriteConflict(Xid xid, Timestamp snapshot, IsolationLevel iso,
   UndoRecord* head = entry->head.load(std::memory_order_acquire);
   if (head == nullptr) return Status::OK();
   RecordCopy hc;
-  if (!CopyRecord(head, relation, rid, &hc)) return Status::OK();
+  if (!CopyRecord(head, relation, rid, /*arena=*/nullptr, &hc)) {
+    return Status::OK();
+  }
 
   if (IsXid(hc.ets)) {
     if (hc.ets == xid) return Status::OK();  // our own earlier write

@@ -3,6 +3,7 @@
 
 #include <string>
 
+#include "common/arena.h"
 #include "common/constants.h"
 #include "common/status.h"
 #include "storage/schema.h"
@@ -12,9 +13,16 @@
 namespace phoebe {
 
 /// Result of a visibility check: the tuple version visible to a snapshot.
+/// `row` is a borrowed slice — when the base tuple was directly visible it
+/// aliases the caller's `base_row` bytes (assembled == false, no copy made);
+/// when a delta chain had to be applied it points into the scratch arena
+/// (assembled == true). Either way it is only valid while those bytes are:
+/// callers that release the page latch must pass a `base_row` that survives
+/// the release (e.g. materialized into the arena first).
 struct VisibleVersion {
   bool exists = false;
-  std::string row;  // encoded row (valid when exists)
+  Slice row;
+  bool assembled = false;  // true -> a delta chain was applied (arena bytes)
 };
 
 /// Retrieve-visible-version (Algorithm 1 in the paper). Inputs:
@@ -22,7 +30,8 @@ struct VisibleVersion {
 ///     from the PAX page under its latch;
 ///   - `entry`: the tuple's twin-table entry, or nullptr when the page has
 ///     no twin table (the tuple is immediately visible, line 2);
-///   - `xid` / `snapshot`: the reading transaction's identity and snapshot.
+///   - `xid` / `snapshot`: the reading transaction's identity and snapshot;
+///   - `arena`: scratch for chain-walk delta copies and version assembly.
 ///
 /// The version chain is walked newest-to-oldest, assembling before-image
 /// deltas until the first record with sts <= snapshot (lines 5-9). Records
@@ -31,7 +40,7 @@ struct VisibleVersion {
 Status RetrieveVisibleVersion(const Schema& schema, Xid xid,
                               Timestamp snapshot, Slice base_row,
                               bool base_deleted, TwinTable::Entry* entry,
-                              RelationId relation, RowId rid,
+                              RelationId relation, RowId rid, Arena* arena,
                               VisibleVersion* out);
 
 /// Write-conflict decision for updates/deletes (Section 6.2 end):

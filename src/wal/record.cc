@@ -2,6 +2,7 @@
 
 #include <cstring>
 
+#include "common/arena.h"
 #include "common/coding.h"
 #include "common/crc32.h"
 
@@ -58,6 +59,21 @@ std::string WalRecordCodec::DataPayload(RelationId rel, RowId rid,
   PutVarint64(&out, rid);
   out.append(body.data(), body.size());
   return out;
+}
+
+Slice WalRecordCodec::DataPayloadTo(RelationId rel, RowId rid, Slice body,
+                                    Arena* arena) {
+  const size_t cap = 5 + 10 + body.size();  // varint32 + varint64 worst case
+  char* buf = arena->Allocate(cap);
+  char* p = EncodeVarint32(buf, rel);
+  p = EncodeVarint64(p, rid);
+  if (!body.empty()) {
+    memcpy(p, body.data(), body.size());
+    p += body.size();
+  }
+  size_t len = static_cast<size_t>(p - buf);
+  arena->ShrinkLast(buf, cap, len);
+  return Slice(buf, len);
 }
 
 Status WalRecordCodec::ParseDataPayload(Slice payload, RelationId* rel,

@@ -11,6 +11,8 @@
 
 namespace phoebe {
 
+class Arena;
+
 /// Logical WAL record types. PhoebeDB logs logical redo (operation + row
 /// payload); recovery replays committed transactions' records in GSN order
 /// (see DESIGN.md for the recovery-model substitution).
@@ -65,6 +67,10 @@ class WalRecordCodec {
 
   /// Payload helpers.
   static std::string DataPayload(RelationId rel, RowId rid, Slice body);
+  /// Allocation-free variant for the DML hot path: the payload lives in the
+  /// transaction arena and is consumed by LogData within the call.
+  static Slice DataPayloadTo(RelationId rel, RowId rid, Slice body,
+                             Arena* arena);
   static Status ParseDataPayload(Slice payload, RelationId* rel, RowId* rid,
                                  Slice* body);
   static std::string CommitPayload(Timestamp cts);

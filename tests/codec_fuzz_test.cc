@@ -1,0 +1,240 @@
+// Randomized round-trip equivalence between the legacy string-returning
+// codec paths and the allocation-reusing EncodeTo/*To variants introduced
+// for the arena hot path. The arena variants must be byte-identical to the
+// legacy ones across arbitrary schemas, null patterns, and string lengths,
+// and arena reuse across many Reset cycles must never leak stale bytes
+// into fresh encodings (ASan poisoning turns stale reads into faults).
+#include <gtest/gtest.h>
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/arena.h"
+#include "common/random.h"
+#include "storage/schema.h"
+
+namespace phoebe {
+namespace {
+
+Schema RandomSchema(Random* rng) {
+  size_t ncols = 1 + rng->Uniform(12);
+  std::vector<ColumnDef> cols;
+  cols.reserve(ncols);
+  bool has_non_nullable = false;
+  for (size_t i = 0; i < ncols; ++i) {
+    ColumnDef c;
+    c.name = "c" + std::to_string(i);
+    c.type = static_cast<ColumnType>(rng->Uniform(4));
+    if (c.type == ColumnType::kString) {
+      c.max_len = static_cast<uint32_t>(1 + rng->Uniform(64));
+    }
+    c.nullable = rng->OneIn(3);
+    has_non_nullable |= !c.nullable;
+    cols.push_back(std::move(c));
+  }
+  // Ensure at least one non-nullable column so Encode has a required slot.
+  if (!has_non_nullable) cols[0].nullable = false;
+  return Schema(std::move(cols));
+}
+
+Value RandomValue(const ColumnDef& col, Random* rng) {
+  if (col.nullable && rng->OneIn(4)) return Value::Null(col.type);
+  switch (col.type) {
+    case ColumnType::kInt32:
+      return Value::Int32(static_cast<int32_t>(rng->Next()));
+    case ColumnType::kInt64:
+      return Value::Int64(static_cast<int64_t>(rng->Next()));
+    case ColumnType::kDouble:
+      return Value::Double(rng->NextDouble() * 1e6 - 5e5);
+    case ColumnType::kString: {
+      size_t len = rng->Uniform(col.max_len + 1);
+      std::string s;
+      s.reserve(len);
+      for (size_t i = 0; i < len; ++i) {
+        // Include embedded NULs and high bytes: the codec is length-prefixed
+        // and must not care.
+        s.push_back(static_cast<char>(rng->Uniform(256)));
+      }
+      return Value::String(std::move(s));
+    }
+  }
+  return Value::Null(col.type);
+}
+
+std::string BuildRow(const Schema& s, const std::vector<Value>& vals) {
+  RowBuilder b(&s);
+  for (size_t i = 0; i < vals.size(); ++i) b.Set(i, vals[i]);
+  auto r = b.Encode();
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  return r.value();
+}
+
+/// One fuzz iteration: random schema + row, all encode variants, a random
+/// mutation, and all delta variants. `arena` is shared across iterations and
+/// reset by the caller to exercise block recycling.
+void FuzzOnce(Random* rng, Arena* arena) {
+  Schema s = RandomSchema(rng);
+  std::vector<Value> vals;
+  for (size_t i = 0; i < s.num_columns(); ++i) {
+    vals.push_back(RandomValue(s.column(i), rng));
+  }
+
+  // --- Encode() vs EncodeTo(std::string*) vs EncodeTo(Arena*). Mix owned
+  // and borrowed string values: SetStringRef must encode identically to
+  // SetString for the same bytes.
+  RowBuilder b(&s);
+  for (size_t i = 0; i < vals.size(); ++i) {
+    const Value& v = vals[i];
+    if (v.type == ColumnType::kString && !v.is_null && rng->OneIn(2)) {
+      b.SetStringRef(i, Slice(v.str));
+    } else {
+      b.Set(i, v);
+    }
+  }
+  auto legacy = b.Encode();
+  ASSERT_TRUE(legacy.ok()) << legacy.status().ToString();
+  std::string to_string_out = "stale bytes from a previous run";
+  ASSERT_TRUE(b.EncodeTo(&to_string_out).ok());
+  EXPECT_EQ(legacy.value(), to_string_out);
+  auto to_arena = b.EncodeTo(arena);
+  ASSERT_TRUE(to_arena.ok());
+  EXPECT_EQ(Slice(legacy.value()), to_arena.value());
+
+  std::string old_row = legacy.value();
+  RowView old_view(&s, old_row.data());
+
+  // --- Mutate a random non-empty column subset.
+  std::vector<uint32_t> touched;
+  std::vector<std::pair<uint32_t, Value>> sets;
+  std::vector<Value> new_vals = vals;
+  for (size_t i = 0; i < s.num_columns(); ++i) {
+    if (!rng->OneIn(2)) continue;
+    Value nv = RandomValue(s.column(i), rng);
+    touched.push_back(static_cast<uint32_t>(i));
+    sets.emplace_back(static_cast<uint32_t>(i), nv);
+    new_vals[i] = nv;
+  }
+  if (touched.empty()) {
+    uint32_t i = static_cast<uint32_t>(rng->Uniform(s.num_columns()));
+    Value nv = RandomValue(s.column(i), rng);
+    touched.push_back(i);
+    sets.emplace_back(i, nv);
+    new_vals[i] = nv;
+  }
+
+  // --- PatchRowTo == full RowBuilder re-encode with the same final values.
+  std::string new_row = BuildRow(s, new_vals);
+  auto patched = PatchRowTo(s, old_view, sets.data(), sets.size(), arena);
+  ASSERT_TRUE(patched.ok()) << patched.status().ToString();
+  EXPECT_EQ(Slice(new_row), patched.value());
+  RowView new_view(&s, new_row.data());
+
+  // --- MakeDelta == MakeDeltaTo over the explicit column set.
+  std::string delta = DeltaCodec::MakeDelta(s, old_view, touched);
+  Slice delta_to = DeltaCodec::MakeDeltaTo(s, old_view, touched.data(),
+                                           touched.size(), arena);
+  EXPECT_EQ(Slice(delta), delta_to);
+
+  // --- ComputeBeforeDelta == ComputeBeforeDeltaTo over old/new rows.
+  std::string before = DeltaCodec::ComputeBeforeDelta(s, old_view, new_view);
+  Slice before_to = DeltaCodec::ComputeBeforeDeltaTo(s, old_view, new_view,
+                                                     arena);
+  EXPECT_EQ(Slice(before), before_to);
+
+  // --- ApplyDelta == ApplyDeltaTo, and both undo the mutation. `before`
+  // holds old values of columns that actually differ, so applying it to the
+  // new row must reproduce the old row exactly.
+  auto undone = DeltaCodec::ApplyDelta(s, Slice(new_row), Slice(before));
+  ASSERT_TRUE(undone.ok()) << undone.status().ToString();
+  auto undone_to = DeltaCodec::ApplyDeltaTo(s, Slice(new_row), Slice(before),
+                                            arena);
+  ASSERT_TRUE(undone_to.ok()) << undone_to.status().ToString();
+  EXPECT_EQ(undone.value(), old_row);
+  EXPECT_EQ(Slice(undone.value()), undone_to.value());
+
+  // --- TouchedColumns round-trips the explicit-set delta.
+  auto cols = DeltaCodec::TouchedColumns(s, Slice(delta));
+  ASSERT_TRUE(cols.ok());
+  EXPECT_EQ(touched, cols.value());
+}
+
+TEST(CodecFuzzTest, LegacyAndArenaVariantsAreByteIdentical) {
+  Random rng(20260808);
+  Arena arena;
+  for (int iter = 0; iter < 400; ++iter) {
+    SCOPED_TRACE("iteration " + std::to_string(iter));
+    FuzzOnce(&rng, &arena);
+    // The per-transaction pattern: one Reset per iteration, blocks recycled.
+    arena.Reset();
+  }
+  // Warmed arena: capacity stuck around, nothing grew without bound.
+  EXPECT_GT(arena.bytes_capacity(), 0u);
+  EXPECT_EQ(arena.bytes_used(), 0u);
+}
+
+/// Arena-reuse stress: many Reset cycles with allocations of adversarial
+/// sizes (tiny, block-straddling, oversized). Contents written before a
+/// Reset must never appear in slices returned after it, and every returned
+/// slice must be fully writable/readable (ASan poisoning catches both
+/// use-after-reset and out-of-bounds in the block recycler).
+TEST(CodecFuzzTest, ArenaReuseStress) {
+  Random rng(7);
+  Arena arena(/*block_bytes=*/512);  // small blocks force frequent advances
+  for (int cycle = 0; cycle < 2000; ++cycle) {
+    std::vector<Slice> live;
+    size_t expect_used = 0;
+    int nallocs = 1 + static_cast<int>(rng.Uniform(16));
+    for (int i = 0; i < nallocs; ++i) {
+      size_t n;
+      switch (rng.Uniform(3)) {
+        case 0: n = rng.Uniform(16); break;            // tiny
+        case 1: n = 400 + rng.Uniform(200); break;     // straddles blocks
+        default: n = 600 + rng.Uniform(1000); break;   // oversized block
+      }
+      char fill = static_cast<char>('a' + (cycle + i) % 26);
+      char* p = arena.Allocate(n);
+      memset(p, fill, n);
+      live.emplace_back(p, n);
+      expect_used += (n + 7) & ~size_t{7};
+      // Copy() must round-trip bytes through a fresh arena region.
+      if (rng.OneIn(4) && n > 0) {
+        Slice c = arena.Copy(live.back());
+        ASSERT_NE(c.data(), live.back().data());
+        ASSERT_EQ(c, live.back());
+        live.push_back(c);
+        expect_used += (n + 7) & ~size_t{7};
+      }
+    }
+    ASSERT_EQ(arena.bytes_used(), expect_used);
+    // All slices from this cycle still hold their fill bytes (no overlap
+    // between allocations, no clobbering by later block appends).
+    for (size_t i = 0; i < live.size(); ++i) {
+      const Slice& s = live[i];
+      for (size_t j = 0; j < s.size(); ++j) {
+        ASSERT_EQ(s.data()[j], s.data()[0]) << "cycle " << cycle;
+      }
+    }
+    arena.Reset();
+  }
+}
+
+/// ShrinkLast gives back the tail of the most recent allocation and is a
+/// no-op after an interleaving allocation.
+TEST(CodecFuzzTest, ArenaShrinkLast) {
+  Arena arena;
+  char* a = arena.Allocate(128);
+  size_t used_after_a = arena.bytes_used();
+  arena.ShrinkLast(a, 128, 40);
+  EXPECT_EQ(arena.bytes_used(), used_after_a - 128 + 40);
+  // Next allocation reuses the reclaimed tail.
+  char* b = arena.Allocate(8);
+  EXPECT_EQ(b, a + 40);
+  // Not the latest allocation anymore: must be a no-op.
+  size_t used = arena.bytes_used();
+  arena.ShrinkLast(a, 128, 8);
+  EXPECT_EQ(arena.bytes_used(), used);
+}
+
+}  // namespace
+}  // namespace phoebe

@@ -26,7 +26,7 @@ TEST(ProfilerTest, ScopesAccumulateWhenEnabled) {
     for (int i = 0; i < 1000; ++i) sink += i;
   }
   Profiler::Enable(false);
-  Profiler::ThreadCounters agg = Profiler::Aggregate();
+  Profiler::Totals agg = Profiler::Aggregate();
   EXPECT_EQ(agg.txn_count, 2u);
   EXPECT_GT(agg.total_cycles, 0u);
   EXPECT_GT(agg.cycles[static_cast<int>(Component::kWal)], 0u);

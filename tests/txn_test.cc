@@ -19,7 +19,7 @@ std::string Row(const Schema& s, const std::string& v) {
   return b.Encode().value();
 }
 
-std::string ValueOf(const Schema& s, const std::string& row) {
+std::string ValueOf(const Schema& s, Slice row) {
   return RowView(&s, row.data()).GetString(0).ToString();
 }
 
@@ -144,11 +144,13 @@ class PaperExampleTest : public ::testing::Test {
 
   std::string ReadVisible(RowId rid, const std::string& base,
                           Timestamp snapshot, Xid xid) {
+    // The returned slice may borrow base_row, so keep it alive past the call.
+    std::string base_row = Row(schema_, base);
     VisibleVersion vv;
-    Status st = RetrieveVisibleVersion(schema_, xid, snapshot,
-                                       Row(schema_, base), false,
+    Status st = RetrieveVisibleVersion(schema_, xid, snapshot, base_row,
+                                       false,
                                        &twin_.entry(static_cast<uint16_t>(rid)),
-                                       1, rid, &vv);
+                                       1, rid, &scratch_, &vv);
     EXPECT_TRUE(st.ok()) << st.ToString();
     EXPECT_TRUE(vv.exists);
     return ValueOf(schema_, vv.row);
@@ -156,6 +158,7 @@ class PaperExampleTest : public ::testing::Test {
 
   Schema schema_;
   UndoArena arena_;
+  Arena scratch_;
   TwinTable twin_{16};
   Xid xid7_, xid3_;
   UndoRecord *r1_new_, *r1_old_, *r2_, *r3_;
@@ -188,14 +191,17 @@ TEST_F(PaperExampleTest, ReclaimedHeadMeansBaseVisible) {
 
 TEST_F(PaperExampleTest, NullChainMeansBaseVisible) {
   TwinTable::Entry empty;
+  std::string base = Row(schema_, "z");
   VisibleVersion vv;
-  ASSERT_OK(RetrieveVisibleVersion(schema_, xid3_, 1, Row(schema_, "z"),
-                                   false, &empty, 1, 9, &vv));
+  ASSERT_OK(RetrieveVisibleVersion(schema_, xid3_, 1, base, false, &empty, 1,
+                                   9, &scratch_, &vv));
   EXPECT_TRUE(vv.exists);
+  EXPECT_FALSE(vv.assembled);  // borrowed, not assembled in the arena
+  EXPECT_EQ(vv.row.data(), base.data());
   EXPECT_EQ(ValueOf(schema_, vv.row), "z");
   // And with no twin table at all (line 1-2).
-  ASSERT_OK(RetrieveVisibleVersion(schema_, xid3_, 1, Row(schema_, "z"),
-                                   false, nullptr, 1, 9, &vv));
+  ASSERT_OK(RetrieveVisibleVersion(schema_, xid3_, 1, base, false, nullptr, 1,
+                                   9, &scratch_, &vv));
   EXPECT_TRUE(vv.exists);
 }
 
@@ -205,9 +211,10 @@ TEST_F(PaperExampleTest, DeleteAndInsertKinds) {
   ins->sts.store(0, std::memory_order_relaxed);
   ins->ets.store(xid7_, std::memory_order_relaxed);
   twin_.entry(5).head.store(ins, std::memory_order_relaxed);
+  std::string base_n = Row(schema_, "n");
   VisibleVersion vv;
-  ASSERT_OK(RetrieveVisibleVersion(schema_, xid3_, 5, Row(schema_, "n"),
-                                   false, &twin_.entry(5), 1, 5, &vv));
+  ASSERT_OK(RetrieveVisibleVersion(schema_, xid3_, 5, base_n, false,
+                                   &twin_.entry(5), 1, 5, &scratch_, &vv));
   EXPECT_FALSE(vv.exists);
 
   // Delete record (uncommitted): older reader still sees the row.
@@ -215,9 +222,10 @@ TEST_F(PaperExampleTest, DeleteAndInsertKinds) {
   del->sts.store(2, std::memory_order_relaxed);
   del->ets.store(xid7_, std::memory_order_relaxed);
   twin_.entry(6).head.store(del, std::memory_order_relaxed);
-  ASSERT_OK(RetrieveVisibleVersion(schema_, xid3_, 5, Row(schema_, "d"),
+  std::string base_d = Row(schema_, "d");
+  ASSERT_OK(RetrieveVisibleVersion(schema_, xid3_, 5, base_d,
                                    /*base_deleted=*/true, &twin_.entry(6), 1,
-                                   6, &vv));
+                                   6, &scratch_, &vv));
   EXPECT_TRUE(vv.exists);
   EXPECT_EQ(ValueOf(schema_, vv.row), "d");
 }
