@@ -86,5 +86,117 @@ void BM_BTreeScan100(benchmark::State& state) {
 }
 BENCHMARK(BM_BTreeScan100);
 
+// --- TPC-C-shaped composite keys ---------------------------------------------
+// order-line style (table_tag, w_id, d_id, o_id): every key in a node shares
+// the tag + warehouse + district prefix (and usually the o_id high bytes),
+// which is exactly the shape fence-key prefix truncation and key heads are
+// built for. kWarehouses/kDistricts mirror a small TPC-C install.
+
+constexpr uint32_t kWarehouses = 4;
+constexpr uint32_t kDistricts = 10;
+
+std::string CompositeKey(uint32_t w, uint32_t d, uint64_t o) {
+  std::string k(20, '\0');
+  memcpy(k.data(), "ORDL", 4);
+  k[4] = static_cast<char>(w >> 24);
+  k[5] = static_cast<char>(w >> 16);
+  k[6] = static_cast<char>(w >> 8);
+  k[7] = static_cast<char>(w);
+  k[8] = static_cast<char>(d >> 24);
+  k[9] = static_cast<char>(d >> 16);
+  k[10] = static_cast<char>(d >> 8);
+  k[11] = static_cast<char>(d);
+  EncodeBigEndian64(k.data() + 12, o);
+  return k;
+}
+
+std::string CompositeKeyFromIndex(uint64_t i) {
+  return CompositeKey(static_cast<uint32_t>(i % kWarehouses),
+                      static_cast<uint32_t>((i / kWarehouses) % kDistricts),
+                      i / (kWarehouses * kDistricts));
+}
+
+/// Worst case for prefix truncation: a pseudo-random 16-byte key whose very
+/// first bytes are uniformly distributed, so siblings share no common prefix
+/// and every node keeps full-length suffixes.
+std::string DistinctPrefixKey(uint64_t i) {
+  std::string k(16, '\0');
+  uint64_t h = i * 0x9E3779B97F4A7C15ull;
+  h ^= h >> 32;
+  EncodeBigEndian64(k.data(), h);
+  EncodeBigEndian64(k.data() + 8, i);
+  return k;
+}
+
+struct CompositeFixture : TreeFixture {
+  explicit CompositeFixture(uint64_t preload) : TreeFixture(0) {
+    for (uint64_t i = 0; i < preload; ++i) {
+      (void)tree->IndexInsert(&ctx, CompositeKeyFromIndex(i), i);
+    }
+  }
+};
+
+struct DistinctPrefixFixture : TreeFixture {
+  explicit DistinctPrefixFixture(uint64_t preload) : TreeFixture(0) {
+    for (uint64_t i = 0; i < preload; ++i) {
+      (void)tree->IndexInsert(&ctx, DistinctPrefixKey(i), i);
+    }
+  }
+};
+
+void BM_BTreeLookupComposite(benchmark::State& state) {
+  const uint64_t n = static_cast<uint64_t>(state.range(0));
+  CompositeFixture f(n);
+  Random rng(3);
+  for (auto _ : state) {
+    uint64_t v = 0;
+    benchmark::DoNotOptimize(
+        f.tree->IndexLookup(&f.ctx, CompositeKeyFromIndex(rng.Uniform(n)), &v));
+  }
+}
+BENCHMARK(BM_BTreeLookupComposite)->Arg(10000)->Arg(1000000);
+
+void BM_BTreeLookupDistinctPrefix(benchmark::State& state) {
+  const uint64_t n = static_cast<uint64_t>(state.range(0));
+  DistinctPrefixFixture f(n);
+  Random rng(4);
+  for (auto _ : state) {
+    uint64_t v = 0;
+    benchmark::DoNotOptimize(
+        f.tree->IndexLookup(&f.ctx, DistinctPrefixKey(rng.Uniform(n)), &v));
+  }
+}
+BENCHMARK(BM_BTreeLookupDistinctPrefix)->Arg(10000)->Arg(1000000);
+
+void BM_BTreeInsertComposite(benchmark::State& state) {
+  CompositeFixture f(0);
+  uint64_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        f.tree->IndexInsert(&f.ctx, CompositeKeyFromIndex(i), i + 1));
+    ++i;
+  }
+}
+BENCHMARK(BM_BTreeInsertComposite);
+
+void BM_BTreeScan100Composite(benchmark::State& state) {
+  constexpr uint64_t kN = 200000;
+  CompositeFixture f(kN);
+  Random rng(5);
+  for (auto _ : state) {
+    uint64_t start = rng.Uniform(kN - 110 * kWarehouses * kDistricts);
+    uint64_t sum = 0;
+    (void)f.tree->IndexScan(
+        &f.ctx, CompositeKeyFromIndex(start),
+        CompositeKeyFromIndex(start + 100 * kWarehouses * kDistricts),
+        [&sum](Slice, uint64_t v) {
+          sum += v;
+          return true;
+        });
+    benchmark::DoNotOptimize(sum);
+  }
+}
+BENCHMARK(BM_BTreeScan100Composite);
+
 }  // namespace
 }  // namespace phoebe

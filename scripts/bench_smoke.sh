@@ -5,7 +5,7 @@
 # emits BENCH_alloc.json (allocs/txn + bytes/txn from the codec/MVCC micro
 # benches and a short TPC-C run). Future PRs diff these files to see the
 # perf trajectory of the dispatch layer and the allocation hot path. Usage:
-#   scripts/bench_smoke.sh [seconds-per-point] [sched.json] [alloc.json]
+#   scripts/bench_smoke.sh [seconds-per-point] [sched.json] [alloc.json] [btree.json]
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -13,11 +13,13 @@ cd "$(dirname "$0")/.."
 SECONDS_PER_POINT="${1:-2}"
 OUT="${2:-BENCH_sched.json}"
 ALLOC_OUT="${3:-BENCH_alloc.json}"
+BTREE_OUT="${4:-BENCH_btree.json}"
 BUILD_DIR="${BUILD_DIR:-build}"
 
 cmake -B "$BUILD_DIR" -S . >/dev/null
 cmake --build "$BUILD_DIR" -j "$(nproc)" \
   --target exp2_scalability micro_coding micro_mvcc order_management \
+  micro_btree \
   >/dev/null
 
 RAW=$("$BUILD_DIR/bench/exp2_scalability" \
@@ -110,3 +112,48 @@ echo "$TPCC" | grep '^#ALLOC ' || true
 ' > "$ALLOC_OUT"
 
 echo "wrote $ALLOC_OUT"
+
+# --- B-Tree node-kernel smoke ----------------------------------------------
+# Point lookup / insert / short scan over three key shapes: 8-byte integer,
+# TPC-C composite (shared prefixes — the layout-v2 sweet spot), and
+# distinct-prefix (worst case: truncation finds nothing to strip). The
+# baseline_pre_v2 block is the pre-layout-v2 kernel measured back-to-back
+# with the v2 kernel in the same window on the same machine; ci.sh asserts
+# the composite lookup speedup and the worst-case non-regression against it.
+BTREE_RAW=$("$BUILD_DIR/bench/micro_btree" \
+  --benchmark_filter=BM_BTree \
+  --benchmark_min_time=0.2 \
+  --benchmark_format=json 2>/dev/null)
+
+python3 - "$BTREE_OUT" <<EOF
+import json, sys
+raw = json.loads('''$BTREE_RAW''')
+points = [
+    {"name": b["name"], "ns": round(b["real_time"], 1)}
+    for b in raw.get("benchmarks", [])
+    if b.get("run_type", "iteration") == "iteration"
+]
+doc = {
+    "bench": "btree_node_kernel",
+    "points": points,
+    # Pre-layout-v2 kernel (growth seed 580808d) on the same workloads,
+    # RelWithDebInfo, measured back-to-back with v2 (EXPERIMENTS.md Exp 7).
+    "baseline_pre_v2": {
+        "BM_BTreeLookup/10000": 208,
+        "BM_BTreeLookup/1000000": 901,
+        "BM_BTreeInsert": 259,
+        "BM_BTreeScan100": 1215,
+        "BM_BTreeLookupComposite/10000": 213,
+        "BM_BTreeLookupComposite/1000000": 917,
+        "BM_BTreeLookupDistinctPrefix/10000": 218,
+        "BM_BTreeLookupDistinctPrefix/1000000": 908,
+        "BM_BTreeInsertComposite": 312,
+        "BM_BTreeScan100Composite": 1409,
+    },
+}
+with open(sys.argv[1], "w") as f:
+    json.dump(doc, f, indent=2)
+    f.write("\n")
+EOF
+
+echo "wrote $BTREE_OUT"

@@ -28,7 +28,7 @@ cmake --build build -j "$(nproc)"
 echo "===== tier-1: ctest ====="
 (cd build && ctest --output-on-failure -j "$(nproc)")
 
-echo "===== tier-1: bench smoke (sched + alloc) ====="
+echo "===== tier-1: bench smoke (sched + alloc + btree) ====="
 scripts/bench_smoke.sh 1
 python3 - <<'EOF'
 import json
@@ -37,6 +37,22 @@ cur = d["tpcc"]["allocs_per_txn"]
 base = d["baseline_pre_arena"]["allocs_per_txn"]
 assert cur > 0 and cur * 5 <= base, (cur, base)
 print(f"allocs/txn {cur} vs pre-arena {base}: {base / cur:.1f}x")
+EOF
+python3 - <<'EOF'
+import json
+d = json.load(open("BENCH_btree.json"))
+cur = {p["name"]: p["ns"] for p in d["points"]}
+base = d["baseline_pre_v2"]
+# Tentpole gate: composite-key point lookup must hold >= 1.5x over the
+# pre-layout-v2 kernel (measured margin is ~1.8x, so this absorbs CI noise).
+name = "BM_BTreeLookupComposite/1000000"
+assert cur[name] * 1.5 <= base[name], (name, cur[name], base[name])
+print(f"{name}: {cur[name]} ns vs pre-v2 {base[name]}: "
+      f"{base[name] / cur[name]:.2f}x")
+# Worst-case guard: keys with no common prefix must not regress past noise.
+name = "BM_BTreeLookupDistinctPrefix/1000000"
+assert cur[name] <= base[name] * 1.3, (name, cur[name], base[name])
+print(f"{name}: {cur[name]} ns vs pre-v2 {base[name]} (guard <= 1.3x)")
 EOF
 
 if [ "$run_asan" = 1 ]; then

@@ -20,7 +20,8 @@ enum class Component : uint8_t {
   kBufferManager = 3,
   kGc = 4,
   kLocking = 5,
-  kNumComponents = 6,
+  kBtreeSearch = 6,
+  kNumComponents = 7,
 };
 
 inline const char* ComponentName(Component c) {
@@ -31,6 +32,7 @@ inline const char* ComponentName(Component c) {
     case Component::kBufferManager: return "BufferManager";
     case Component::kGc: return "GC";
     case Component::kLocking: return "Locking";
+    case Component::kBtreeSearch: return "BTreeSearch";
     default: return "?";
   }
 }
@@ -106,17 +108,29 @@ class Profiler {
   /// initialized so the operator new hook can read it with no TLS guard.
   inline static thread_local int tl_component = -1;
 
+  /// Cycles consumed by ComponentScopes nested inside the currently open
+  /// scope on this thread. Lets the enclosing scope attribute only its
+  /// *exclusive* (self) time, so nested scopes — e.g. a kBtreeSearch probe
+  /// inside the kLatching descent — are not double counted and the exp7
+  /// component shares still sum to <= total.
+  inline static thread_local uint64_t tl_child_cycles = 0;
+
  private:
   static std::atomic<bool> enabled_;
   static std::atomic<bool> alloc_tracking_;
 };
 
 /// Scoped timer attributing elapsed cycles (and, when allocation tracking is
-/// on, heap allocations) to a component.
+/// on, heap allocations) to a component. Nesting-aware: a scope records its
+/// elapsed time minus the elapsed time of scopes nested within it.
 class ComponentScope {
  public:
   explicit ComponentScope(Component c) : c_(c) {
-    if (Profiler::enabled()) start_ = ReadCycles();
+    if (Profiler::enabled()) {
+      saved_child_ = Profiler::tl_child_cycles;
+      Profiler::tl_child_cycles = 0;
+      start_ = ReadCycles();
+    }
     if (Profiler::alloc_tracking()) {
       prev_component_ = Profiler::tl_component;
       Profiler::tl_component = static_cast<int>(c);
@@ -125,7 +139,11 @@ class ComponentScope {
   }
   ~ComponentScope() {
     if (start_ != 0) {
-      Profiler::Local().cycles[static_cast<int>(c_)] += ReadCycles() - start_;
+      const uint64_t elapsed = ReadCycles() - start_;
+      const uint64_t nested = Profiler::tl_child_cycles;
+      const uint64_t self = elapsed > nested ? elapsed - nested : 0;
+      Profiler::Local().cycles[static_cast<int>(c_)] += self;
+      Profiler::tl_child_cycles = saved_child_ + elapsed;
     }
     if (restore_) Profiler::tl_component = prev_component_;
   }
@@ -135,6 +153,7 @@ class ComponentScope {
  private:
   Component c_;
   uint64_t start_ = 0;
+  uint64_t saved_child_ = 0;
   int prev_component_ = -1;
   bool restore_ = false;
 };

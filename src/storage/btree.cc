@@ -146,18 +146,26 @@ Status BTree::ResolveSwip(OpContext* ctx, Swip* swip, BufferFrame* parent) {
   }
 
   if (ctx->synchronous) {
-    // Blocking load: latch the parent exclusively so the swip cannot move.
-    HybridLatch* platch = ParentLatch(this, parent, &meta_latch_);
-    if (!platch->SpinLockExclusive(1 << 16)) return Status::OK();  // restart
-    if (swip->raw() != w) {
-      platch->UnlockExclusive();
-      return Status::OK();  // resolved by someone else; restart
-    }
+    // Allocate the landing frame BEFORE latching the parent: reclaiming a
+    // frame may need to cool/evict victims, which locks the victims'
+    // parents — and with layout-v2's high-fanout inners the parent here is
+    // often the root itself, so allocating under it would starve eviction
+    // into kBufferFull.
     BufferFrame* bf = nullptr;
     Status st = AllocFrame(ctx, &bf);
-    if (!st.ok()) {
+    if (!st.ok()) return st;
+    // Blocking load: latch the parent exclusively so the swip cannot move.
+    HybridLatch* platch = ParentLatch(this, parent, &meta_latch_);
+    if (!platch->SpinLockExclusive(1 << 16)) {
+      bf->latch.UnlockExclusive();
+      pool_->FreeFrame(bf);
+      return Status::OK();  // restart
+    }
+    if (swip->raw() != w) {
       platch->UnlockExclusive();
-      return st;
+      bf->latch.UnlockExclusive();
+      pool_->FreeFrame(bf);
+      return Status::OK();  // resolved by someone else; restart
     }
     st = pool_->LoadPageSync(pid, bf);
     if (!st.ok()) {
@@ -282,10 +290,15 @@ Status BTree::DescendToLeaf(OpContext* ctx, const Slice& key, LatchMode mode,
       NodeKind nk = PageKind(bf->page);
       if (nk == NodeKind::kInner) {
         InnerNode* inner = InnerNode::Cast(bf->page);
-        uint16_t idx = leftmost ? 0
-                       : rightmost
-                           ? static_cast<uint16_t>(inner->num_children() - 1)
-                           : inner->FindChild(key);
+        uint16_t idx;
+        if (leftmost) {
+          idx = 0;
+        } else if (rightmost) {
+          idx = static_cast<uint16_t>(inner->num_children() - 1);
+        } else {
+          ComponentScope search_prof(Component::kBtreeSearch);
+          idx = inner->FindChild(key);
+        }
         Swip* child = inner->ChildAt(idx);
         if (!bf->latch.ValidateOptimistic(v)) {
           restart = true;
@@ -475,7 +488,12 @@ Status BTree::PessimisticDescend(OpContext* ctx, const Slice& key,
       parent.Release();
       parent.latch = &bf->latch;
       parent.frame = bf;
-      cur = inner->ChildAt(inner->FindChild(key));
+      uint16_t idx;
+      {
+        ComponentScope search_prof(Component::kBtreeSearch);
+        idx = inner->FindChild(key);
+      }
+      cur = inner->ChildAt(idx);
     }
     if (restart) continue;
   }
@@ -534,12 +552,21 @@ Status BTree::IndexInsert(OpContext* ctx, const Slice& key, uint64_t value) {
     LeafGuard g;
     PHOEBE_RETURN_IF_ERROR(FixLeaf(ctx, key, LatchMode::kExclusive, &g));
     IndexLeaf* leaf = IndexLeaf::Cast(g.page());
-    if (leaf->Find(key) >= 0) return Status::KeyExists();
-    if (!leaf->HasSpaceFor(key.size())) leaf->Compact();
-    if (leaf->HasSpaceFor(key.size())) {
-      leaf->Insert(key, value);
-      g.frame()->dirty.store(true, std::memory_order_relaxed);
-      return Status::OK();
+    {
+      ComponentScope search_prof(Component::kBtreeSearch);
+      if (leaf->Find(key) >= 0) return Status::KeyExists();
+      if (!leaf->HasSpaceFor(key.size()) &&
+          leaf->FreeSpace() + leaf->DeadHeapBytes() >=
+              sizeof(IndexLeaf::Entry) + key.size()) {
+        // Compact only when reclaiming dead key bytes can actually make
+        // room; a full leaf with a tight heap goes straight to the split.
+        leaf->Compact();
+      }
+      if (leaf->HasSpaceFor(key.size())) {
+        leaf->Insert(key, value);
+        g.frame()->dirty.store(true, std::memory_order_relaxed);
+        return Status::OK();
+      }
     }
     g.Release();
 
@@ -565,11 +592,19 @@ Status BTree::IndexInsert(OpContext* ctx, const Slice& key, uint64_t value) {
 }
 
 Status BTree::IndexRemove(OpContext* ctx, const Slice& key) {
-  LeafGuard g;
-  PHOEBE_RETURN_IF_ERROR(FixLeaf(ctx, key, LatchMode::kExclusive, &g));
-  IndexLeaf* leaf = IndexLeaf::Cast(g.page());
-  if (!leaf->Remove(key)) return Status::NotFound();
-  g.frame()->dirty.store(true, std::memory_order_relaxed);
+  bool underfull = false;
+  {
+    LeafGuard g;
+    PHOEBE_RETURN_IF_ERROR(FixLeaf(ctx, key, LatchMode::kExclusive, &g));
+    IndexLeaf* leaf = IndexLeaf::Cast(g.page());
+    {
+      ComponentScope search_prof(Component::kBtreeSearch);
+      if (!leaf->Remove(key)) return Status::NotFound();
+    }
+    g.frame()->dirty.store(true, std::memory_order_relaxed);
+    underfull = leaf->Underfull();
+  }
+  if (underfull) TryMergeLeaf(ctx, key);
   return Status::OK();
 }
 
@@ -577,23 +612,124 @@ Status BTree::IndexLookup(OpContext* ctx, const Slice& key, uint64_t* value) {
   LeafGuard g;
   PHOEBE_RETURN_IF_ERROR(FixLeaf(ctx, key, LatchMode::kShared, &g));
   IndexLeaf* leaf = IndexLeaf::Cast(g.page());
-  int pos = leaf->Find(key);
+  int pos;
+  {
+    ComponentScope search_prof(Component::kBtreeSearch);
+    pos = leaf->Find(key);
+  }
   if (pos < 0) return Status::NotFound();
   *value = leaf->ValueAt(static_cast<uint16_t>(pos));
   return Status::OK();
 }
 
+void BTree::TryMergeLeaf(OpContext* ctx, const Slice& key) {
+  // Best-effort structural shrink after a delete left the leaf underfull:
+  // absorb the immediate RIGHT sibling (whose lower fence is this leaf's
+  // upper fence). The survivor keeps its own parent slot and lower bound;
+  // the parent update is a single RemoveChildAt of the right child and its
+  // guarding separator — exactly the separator that was the merged fence
+  // boundary. Requires the right sibling to be resident, under the same
+  // parent, and uncontended; any bail-out leaves the tree merely unmerged,
+  // never inconsistent.
+  LeafGuard xleaf;
+  BufferFrame* parent = nullptr;
+  if (!PessimisticDescend(ctx, key, /*sep*/ 0, &xleaf, &parent).ok()) return;
+  const bool parent_is_meta = (parent == nullptr);
+  BufferFrame* right_bf = nullptr;
+  do {
+    if (parent_is_meta) break;  // root leaf: nothing to merge with
+    if (PageKind(xleaf.page()) != NodeKind::kIndexLeaf) break;
+    IndexLeaf* leaf = IndexLeaf::Cast(xleaf.page());
+    if (!leaf->Underfull() || !leaf->has_upper_fence()) break;
+    InnerNode* pinner = InnerNode::Cast(parent->page);
+    int idx = pinner->FindChildBySwipWord(
+        reinterpret_cast<uint64_t>(xleaf.frame()));
+    if (idx < 0 || idx + 1 >= pinner->num_children()) break;
+    Swip* rswip = pinner->ChildAt(static_cast<uint16_t>(idx + 1));
+    uint64_t w = rswip->raw();
+    if ((w & Swip::kTagMask) == Swip::kTagEvicted) break;  // not resident
+    BufferFrame* rbf = reinterpret_cast<BufferFrame*>(w & ~Swip::kTagMask);
+    if (!rbf->latch.TryLockExclusive()) break;
+    right_bf = rbf;
+    if (PageKind(rbf->page) != NodeKind::kIndexLeaf) break;
+    if (rbf->twin.load(std::memory_order_acquire) != nullptr) break;
+    IndexLeaf* right = IndexLeaf::Cast(rbf->page);
+    if (!leaf->MergeFrom(right)) break;  // merged payload would overflow
+    pinner->RemoveChildAt(static_cast<uint16_t>(idx + 1));
+    xleaf.frame()->dirty.store(true, std::memory_order_relaxed);
+    parent->dirty.store(true, std::memory_order_relaxed);
+    if (rbf->state.load(std::memory_order_relaxed) == FrameState::kCooling) {
+      pool_->RemoveCooling(rbf);
+    }
+    if (rbf->page_id != kInvalidPageId) {
+      pool_->page_file()->FreePage(rbf->page_id);
+    }
+    // Unlatch first (bumps the version for stale optimistic readers), then
+    // recycle the frame — the DetachTableLeaf ordering.
+    rbf->latch.UnlockExclusive();
+    pool_->FreeFrame(rbf);
+    right_bf = nullptr;
+  } while (false);
+  if (right_bf != nullptr) right_bf->latch.UnlockExclusive();
+  xleaf.Release();
+  if (parent_is_meta) {
+    meta_latch_.UnlockExclusive();
+  } else {
+    parent->latch.UnlockExclusive();
+  }
+}
+
 Status BTree::IndexScan(OpContext* ctx, const Slice& lo, const Slice& hi,
                         const std::function<bool(Slice, uint64_t)>& cb) {
   std::string cursor = lo.ToString();
+  // Keys are stored prefix-truncated; materialize full keys for the callback
+  // by writing the node prefix once per leaf and each suffix in place. The
+  // 16-byte slack past kMaxKeySize lets the hot path copy a constant 16
+  // bytes instead of a variable-length memcpy.
+  char kbuf[kMaxKeySize + 16];
   for (;;) {
     LeafGuard g;
     PHOEBE_RETURN_IF_ERROR(FixLeaf(ctx, cursor, LatchMode::kShared, &g));
     IndexLeaf* leaf = IndexLeaf::Cast(g.page());
-    uint16_t pos = leaf->LowerBound(cursor);
+    uint16_t pos;
+    {
+      ComponentScope prof(Component::kBtreeSearch);
+      pos = leaf->LowerBound(cursor);
+    }
+    const size_t plen = leaf->prefix_len();
+    const char* const page_end =
+        reinterpret_cast<const char*>(g.page()) + kPageSize;
+    memcpy(kbuf, leaf->prefix().data(), plen);
+    // Classify the exclusive bound against this leaf's prefix once, so the
+    // per-key bound check is a short suffix compare (or nothing) instead of
+    // a full-key compare. Every key here is prefix + suffix:
+    //   hi < prefix       -> no key is < hi, the scan is done;
+    //   hi > prefix block -> every key here is < hi, skip per-key checks;
+    //   hi = prefix + t   -> key < hi  <=>  suffix < t.
+    bool check_suffix = false;
+    Slice hi_suffix;
+    if (!hi.empty()) {
+      const size_t m = hi.size() < plen ? hi.size() : plen;
+      int c = memcmp(hi.data(), kbuf, m);
+      if (c == 0 && hi.size() <= plen) c = -1;
+      if (c < 0) return Status::OK();
+      if (c == 0) {
+        check_suffix = true;
+        hi_suffix = Slice(hi.data() + plen, hi.size() - plen);
+      }
+    }
     for (; pos < leaf->count(); ++pos) {
-      Slice k = leaf->KeyAt(pos);
-      if (!hi.empty() && k.compare(hi) >= 0) return Status::OK();
+      const Slice suf = leaf->SuffixAt(pos);
+      if (check_suffix && suf.compare(hi_suffix) >= 0) return Status::OK();
+      if (suf.size() <= 16 && suf.data() + 16 <= page_end) {
+        // Constant-size copy (may drag along trailing in-page bytes; the
+        // slice length below masks them). Guarded against reading past the
+        // frame when the suffix sits at the very end of the page heap.
+        memcpy(kbuf + plen, suf.data(), 16);
+      } else {
+        memcpy(kbuf + plen, suf.data(), suf.size());
+      }
+      Slice k(kbuf, plen + suf.size());
       if (!cb(k, leaf->ValueAt(pos))) return Status::OK();
     }
     if (!leaf->has_upper_fence()) return Status::OK();
@@ -892,6 +1028,66 @@ Status BTree::Drop(OpContext* ctx) {
   PHOEBE_RETURN_IF_ERROR(DropRec(pool_, schema_, layout_, ctx, &root_));
   root_.SetEvicted(kInvalidPageId);
   return Status::OK();
+}
+
+namespace {
+
+/// Quiescent recursive check that a resident subtree satisfies the layout-v2
+/// invariants AND that every child's fence pair equals the key range its
+/// parent routes to it ([sep_{i-1}, sep_i) reconstructed from the parent).
+/// Evicted children and table leaves (no fences) are skipped.
+Status CheckIntegrityRec(const char* page, const std::string& lower,
+                         const std::string& upper, bool has_upper) {
+  const NodeKind nk = PageKind(page);
+  if (nk == NodeKind::kTableLeaf) return Status::OK();
+  std::string err;
+  if (nk == NodeKind::kIndexLeaf) {
+    const IndexLeaf* leaf = IndexLeaf::Cast(page);
+    if (!leaf->CheckInvariants(&err)) {
+      return Status::Corruption("leaf invariant: " + err);
+    }
+    if (leaf->lower_fence() != Slice(lower)) {
+      return Status::Corruption("leaf lower fence != parent routing bound");
+    }
+    if (leaf->has_upper_fence() != has_upper ||
+        (has_upper && leaf->upper_fence() != Slice(upper))) {
+      return Status::Corruption("leaf upper fence != parent routing bound");
+    }
+    return Status::OK();
+  }
+  const InnerNode* inner = InnerNode::Cast(page);
+  if (!inner->CheckInvariants(&err)) {
+    return Status::Corruption("inner invariant: " + err);
+  }
+  if (inner->lower_fence() != Slice(lower)) {
+    return Status::Corruption("inner lower fence != parent routing bound");
+  }
+  if (inner->has_upper_fence() != has_upper ||
+      (has_upper && inner->upper_fence() != Slice(upper))) {
+    return Status::Corruption("inner upper fence != parent routing bound");
+  }
+  for (uint16_t i = 0; i < inner->num_children(); ++i) {
+    const uint64_t w = const_cast<InnerNode*>(inner)->ChildAt(i)->raw();
+    if ((w & Swip::kTagMask) == Swip::kTagEvicted) continue;
+    const BufferFrame* child =
+        reinterpret_cast<const BufferFrame*>(w & ~Swip::kTagMask);
+    const std::string clower = (i == 0) ? lower : inner->FullKey(i - 1);
+    const bool chas_upper = (i == inner->count()) ? has_upper : true;
+    const std::string cupper =
+        (i == inner->count()) ? upper : inner->FullKey(i);
+    PHOEBE_RETURN_IF_ERROR(
+        CheckIntegrityRec(child->page, clower, cupper, chas_upper));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status BTree::CheckIntegrity(OpContext* ctx) {
+  (void)ctx;
+  if (!root_.IsHot()) return Status::OK();  // fully evicted tree
+  return CheckIntegrityRec(root_.frame()->page, std::string(), std::string(),
+                           /*has_upper=*/false);
 }
 
 int BTree::Height(OpContext* ctx) {

@@ -161,6 +161,12 @@ class BTree {
   /// Height of the tree (1 = root is leaf). Approximate under concurrency.
   int Height(OpContext* ctx);
 
+  /// Verifies the layout-v2 structural invariants of every resident node
+  /// (fences, prefix derivation, key heads, hints, sort order) plus the
+  /// parent/child fence chaining. Quiescent callers only; returns
+  /// kCorruption with a description on the first violation.
+  Status CheckIntegrity(OpContext* ctx);
+
   /// Encodes a row_id as a big-endian table-tree key.
   static std::string TableKey(RowId rid);
 
@@ -198,6 +204,11 @@ class BTree {
 
   /// Ensures the root is an inner node (grows the tree by one level).
   Status GrowRoot(OpContext* ctx);
+
+  /// Best-effort merge of the underfull leaf covering `key` with its right
+  /// sibling (fence-preserving direction). Bails out silently on any
+  /// contention or residency obstacle.
+  void TryMergeLeaf(OpContext* ctx, const Slice& key);
 
   /// Post-order copy-on-write checkpoint walk. Dirty pages (and inner nodes
   /// whose children relocated) are written to freshly allocated page ids;

@@ -4,6 +4,7 @@
 #include <cassert>
 #include <cstdint>
 #include <cstring>
+#include <string>
 
 #include "buffer/swip.h"
 #include "common/constants.h"
@@ -41,19 +42,137 @@ inline NodeKind PageKind(const char* page) {
   return static_cast<NodeKind>(static_cast<uint8_t>(page[0]));
 }
 
+// ---------------------------------------------------------------------------
+// Layout v2 building blocks: fence keys, prefix truncation, 4-byte key
+// heads, and search hints (the cache-conscious node kernel).
+//
+// Every inner node and index leaf stores its key range as a pair of fence
+// keys: `lower` (inclusive; empty = -infinity) and `upper` (exclusive;
+// absent = +infinity, rightmost node). All keys in the node lie in
+// [lower, upper), so they share the fences' common prefix; only the
+// prefix-truncated *suffix* of each key is stored in the key heap. Each
+// slot additionally embeds a 4-byte big-endian *head* of its suffix so a
+// binary-search probe is a uint32 compare that touches only the slot
+// array; the suffix memcmp runs only on head ties. A small array of
+// hints (the head of every count/(kHintCount+1)-th slot) narrows the
+// binary-search window before the slot array is touched at all.
+// ---------------------------------------------------------------------------
+
+/// Number of search-hint heads per node. Hints activate once a node has
+/// more than 2 * kHintCount slots.
+inline constexpr uint16_t kNodeHintCount = 16;
+
+/// Big-endian head of the first min(4, len) bytes, zero padded. Heads order
+/// like the bytes they summarize: head(a) < head(b) implies a < b; equal
+/// heads need the tie-break below.
+inline uint32_t KeyHead(const char* s, size_t len) {
+  const size_t n = len < 4 ? len : 4;
+  uint32_t h = 0;
+  for (size_t i = 0; i < n; ++i) {
+    h |= static_cast<uint32_t>(static_cast<uint8_t>(s[i]))
+         << (24 - 8 * static_cast<int>(i));
+  }
+  return h;
+}
+
+inline size_t CommonPrefixLen(const Slice& a, const Slice& b) {
+  const size_t n = a.size() < b.size() ? a.size() : b.size();
+  size_t i = 0;
+  while (i < n && a[i] == b[i]) ++i;
+  return i;
+}
+
+/// Orders `key` against the set of keys carrying `prefix`: <0 when key sorts
+/// before every prefixed key, 0 when key itself carries the prefix, >0 when
+/// it sorts after every prefixed key.
+inline int ComparePrefix(const Slice& key, const char* prefix, size_t plen) {
+  const size_t m = key.size() < plen ? key.size() : plen;
+  int c = memcmp(key.data(), prefix, m);
+  if (c != 0) return c;
+  return key.size() < plen ? -1 : 0;
+}
+
+/// Narrows a binary-search window using the hint array. Safe for both
+/// lower-bound and upper-bound searches: slots below *lo have heads
+/// strictly below `head`, the slot at *hi (if narrowed) has a head
+/// strictly above it.
+inline void HintedRange(const uint32_t* hints, uint16_t count, uint32_t head,
+                        uint16_t* lo, uint16_t* hi) {
+  if (count <= kNodeHintCount * 2) return;
+  const uint16_t dist = count / (kNodeHintCount + 1);
+  uint16_t pos = 0;
+  while (pos < kNodeHintCount && hints[pos] < head) ++pos;
+  uint16_t pos2 = pos;
+  while (pos2 < kNodeHintCount && hints[pos2] <= head) ++pos2;
+  *lo = static_cast<uint16_t>(pos * dist);
+  if (pos2 < kNodeHintCount) {
+    const uint16_t hi_cap = static_cast<uint16_t>((pos2 + 1) * dist);
+    if (hi_cap < *hi) *hi = hi_cap;
+  }
+}
+
+template <typename Entry>
+inline void RebuildHints(const Entry* slots, uint16_t count, uint32_t* hints) {
+  if (count <= kNodeHintCount * 2) return;
+  const uint16_t dist = count / (kNodeHintCount + 1);
+  for (uint16_t i = 0; i < kNodeHintCount; ++i) {
+    hints[i] = slots[dist * (i + 1)].head;
+  }
+}
+
+/// Hinted binary search over prefix-truncated slots. `head`/`suf`/`slen`
+/// describe the (already prefix-stripped) needle. With kCountLessEqual the
+/// result is the number of slots <= needle (inner-node routing); without it,
+/// the first slot >= needle (leaf lower bound). Probes compare the embedded
+/// uint32 heads first and fall back to a suffix memcmp only on head ties;
+/// ties where both sides fit in the head entirely are decided by length
+/// (equal zero-padded heads mean the shorter suffix is a prefix of the
+/// longer one).
+template <typename Entry, bool kCountLessEqual>
+inline uint16_t SearchSuffixSlots(const char* page, const Entry* slots,
+                                  uint16_t lo, uint16_t hi, uint32_t head,
+                                  const char* suf, size_t slen) {
+  while (lo < hi) {
+    const uint16_t mid = static_cast<uint16_t>((lo + hi) / 2);
+    // The next probe is one of the two quarter points; pull both slot
+    // entries into cache while this comparison resolves.
+    __builtin_prefetch(&slots[(lo + mid) / 2]);
+    __builtin_prefetch(&slots[(mid + 1 + hi) / 2]);
+    const Entry& e = slots[mid];
+    int c;
+    if (e.head != head) {
+      c = e.head < head ? -1 : 1;
+    } else if (e.key_len <= 4 && slen <= 4) {
+      c = e.key_len < slen ? -1 : (e.key_len > slen ? 1 : 0);
+    } else {
+      const size_t m = e.key_len < slen ? e.key_len : slen;
+      c = memcmp(page + e.key_off, suf, m);
+      if (c == 0) c = e.key_len < slen ? -1 : (e.key_len > slen ? 1 : 0);
+    }
+    const bool go_right = kCountLessEqual ? (c <= 0) : (c < 0);
+    if (go_right) {
+      lo = static_cast<uint16_t>(mid + 1);
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
 /// Inner node: `count` separators with `count + 1` children.
 /// Child c_0 covers keys < sep[0]; c_{i+1} covers sep[i] <= key < sep[i+1].
 ///
-/// Layout: [NodeHeader][leftmost child swip][slot array ->] ... [<- key heap]
-/// Each slot is 16 bytes {key_off, key_len, pad, child-swip word} so that the
-/// embedded swip word is 8-byte aligned.
+/// Layout v2: [NodeHeader][leftmost child swip][fence meta][hint array]
+/// [slot array ->] ... [<- key heap (suffixes + fence keys)]
+/// Each slot is 16 bytes {head, key_off, key_len, child-swip word} so that
+/// the embedded swip word stays 8-byte aligned.
 class InnerNode {
  public:
   struct Entry {
-    uint16_t key_off;
-    uint16_t key_len;
-    uint32_t pad;
-    uint64_t child;  // raw Swip word
+    uint32_t head;     // big-endian head of the truncated suffix
+    uint16_t key_off;  // suffix bytes in the key heap
+    uint16_t key_len;  // suffix length (full length - prefix_len)
+    uint64_t child;    // raw Swip word
   };
   static_assert(sizeof(Entry) == 16);
 
@@ -64,13 +183,13 @@ class InnerNode {
     return reinterpret_cast<const InnerNode*>(page);
   }
 
-  /// Initializes an empty inner node with a single (leftmost) child.
+  /// Initializes an empty inner node with a single (leftmost) child and
+  /// infinite fences (lower = empty, no upper). Call SetFences() before the
+  /// first InsertSeparator to enable prefix truncation.
   static InnerNode* Init(char* page, uint64_t leftmost_child_raw) {
-    memset(page, 0, sizeof(NodeHeader) + sizeof(uint64_t));
+    memset(page, 0, HeaderEnd());
     auto* n = Cast(page);
     n->hdr_.kind = static_cast<uint8_t>(NodeKind::kInner);
-    n->hdr_.count = 0;
-    n->hdr_.heap_used = 0;
     n->leftmost_ = leftmost_child_raw;
     return n;
   }
@@ -78,9 +197,51 @@ class InnerNode {
   uint16_t count() const { return hdr_.count; }
   uint16_t num_children() const { return hdr_.count + 1; }
 
-  Slice KeyAt(uint16_t i) const {
+  /// --- Fences & prefix ------------------------------------------------------
+
+  /// Installs the node's key range [lower, upper) and derives the truncation
+  /// prefix. Must run on an empty node (fence bytes live in the key heap).
+  void SetFences(const Slice& lower, const Slice& upper, bool has_upper) {
+    assert(hdr_.count == 0);
+    lower_off_ = PushHeap(lower.data(), lower.size());
+    lower_len_ = static_cast<uint16_t>(lower.size());
+    if (has_upper) {
+      upper_off_ = PushHeap(upper.data(), upper.size());
+      upper_len_ = static_cast<uint16_t>(upper.size());
+      has_upper_ = 1;
+      prefix_len_ = static_cast<uint16_t>(CommonPrefixLen(lower, upper));
+    } else {
+      upper_off_ = upper_len_ = 0;
+      has_upper_ = 0;
+      prefix_len_ = 0;
+    }
+  }
+
+  bool has_upper_fence() const { return has_upper_ != 0; }
+  Slice lower_fence() const { return Slice(Page() + lower_off_, lower_len_); }
+  Slice upper_fence() const { return Slice(Page() + upper_off_, upper_len_); }
+  uint16_t prefix_len() const { return prefix_len_; }
+  Slice prefix() const { return Slice(Page() + lower_off_, prefix_len_); }
+
+  /// --- Key access -----------------------------------------------------------
+
+  /// Prefix-truncated suffix of separator `i` as stored in the heap.
+  Slice SuffixAt(uint16_t i) const {
     const Entry& e = SlotsConst()[i];
     return Slice(Page() + e.key_off, e.key_len);
+  }
+  uint32_t HeadAt(uint16_t i) const { return SlotsConst()[i].head; }
+
+  /// Reconstructs the full separator key into `out` (>= kMaxKeySize bytes).
+  size_t FullKeyTo(uint16_t i, char* out) const {
+    memcpy(out, Page() + lower_off_, prefix_len_);
+    const Entry& e = SlotsConst()[i];
+    memcpy(out + prefix_len_, Page() + e.key_off, e.key_len);
+    return static_cast<size_t>(prefix_len_) + e.key_len;
+  }
+  std::string FullKey(uint16_t i) const {
+    char buf[kMaxKeySize];
+    return std::string(buf, FullKeyTo(i, buf));
   }
 
   /// Swip of child `i` (0 <= i <= count).
@@ -89,19 +250,22 @@ class InnerNode {
     return reinterpret_cast<Swip*>(&Slots()[i - 1].child);
   }
 
-  /// Index of the child covering `key`.
+  /// Index of the child covering `key` (number of separators <= key).
   uint16_t FindChild(const Slice& key) const {
-    // Number of separators <= key.
-    uint16_t lo = 0, hi = hdr_.count;
-    while (lo < hi) {
-      uint16_t mid = (lo + hi) / 2;
-      if (KeyAt(mid).compare(key) <= 0) {
-        lo = mid + 1;
-      } else {
-        hi = mid;
-      }
+    const uint16_t n = hdr_.count;
+    if (n == 0) return 0;
+    if (prefix_len_ != 0) {
+      const int c = ComparePrefix(key, Page() + lower_off_, prefix_len_);
+      if (c < 0) return 0;
+      if (c > 0) return n;
     }
-    return lo;
+    const char* suf = key.data() + prefix_len_;
+    const size_t slen = key.size() - prefix_len_;
+    const uint32_t head = KeyHead(suf, slen);
+    uint16_t lo = 0, hi = n;
+    HintedRange(hints_, n, head, &lo, &hi);
+    return SearchSuffixSlots<Entry, /*kCountLessEqual=*/true>(
+        Page(), SlotsConst(), lo, hi, head, suf, slen);
   }
 
   size_t FreeSpace() const {
@@ -110,47 +274,64 @@ class InnerNode {
   }
 
   bool HasSpaceFor(size_t key_len) const {
+    // Conservative: charged at full length although only the suffix is
+    // stored.
     return FreeSpace() >= sizeof(Entry) + key_len;
   }
 
   /// Inserts separator `key` with right child `child_raw` (caller ensured
-  /// space). Keeps slots sorted.
+  /// space; `key` must lie in the node's fence range). Keeps slots sorted
+  /// and rebuilds the hint array.
   void InsertSeparator(const Slice& key, uint64_t child_raw) {
     assert(HasSpaceFor(key.size()));
+    assert(prefix_len_ == 0 ||
+           ComparePrefix(key, Page() + lower_off_, prefix_len_) == 0);
     uint16_t pos = FindChild(key);  // first sep > key sits at pos
+    const char* suf = key.data() + prefix_len_;
+    const size_t slen = key.size() - prefix_len_;
     Entry* slots = Slots();
     memmove(slots + pos + 1, slots + pos,
             static_cast<size_t>(hdr_.count - pos) * sizeof(Entry));
-    hdr_.heap_used += static_cast<uint16_t>(key.size());
-    uint16_t off = static_cast<uint16_t>(kPageSize - hdr_.heap_used);
-    memcpy(Page() + off, key.data(), key.size());
-    slots[pos].key_off = off;
-    slots[pos].key_len = static_cast<uint16_t>(key.size());
-    slots[pos].pad = 0;
+    slots[pos].head = KeyHead(suf, slen);
+    slots[pos].key_off = PushHeap(suf, slen);
+    slots[pos].key_len = static_cast<uint16_t>(slen);
     slots[pos].child = child_raw;
     hdr_.count += 1;
+    RebuildHints(SlotsConst(), hdr_.count, hints_);
   }
 
   /// Splits this (full) node: moves the upper half into `right` (an
   /// uninitialized page) and returns the separator key that must be inserted
-  /// into the parent. After the split, `sep_out` holds the middle key.
+  /// into the parent. Fences: left keeps [lower, sep), right gets
+  /// [sep, upper) — both halves re-derive their truncation prefix.
   void Split(char* right_page, std::string* sep_out) {
-    uint16_t mid = hdr_.count / 2;
-    std::string sep = KeyAt(mid).ToString();
-    // Right node: children mid+1 .. count, separators mid+1 .. count-1.
+    const uint16_t mid = hdr_.count / 2;
+    const std::string sep = FullKey(mid);
+    const std::string lower = lower_fence().ToString();
+    const std::string upper = upper_fence().ToString();
+    const bool had_upper = has_upper_fence();
+    char keybuf[kMaxKeySize];
+    // Right node: children mid+1 .. count, separators mid+1 .. count-1,
+    // appended in sorted order (bulk path: no search/memmove per key).
     InnerNode* right = Init(right_page, Slots()[mid].child);
+    right->SetFences(sep, upper, had_upper);
     for (uint16_t i = mid + 1; i < hdr_.count; ++i) {
-      right->InsertSeparator(KeyAt(i), Slots()[i].child);
+      const size_t klen = FullKeyTo(i, keybuf);
+      right->AppendSorted(Slice(keybuf, klen), Slots()[i].child);
     }
+    RebuildHints(right->SlotsConst(), right->hdr_.count, right->hints_);
     // Shrink left to separators 0..mid-1 (children 0..mid). Rebuild heap
     // compactly via a scratch copy.
     char scratch[kPageSize];
     InnerNode* left = Init(scratch, leftmost_);
+    left->SetFences(lower, sep, true);
     for (uint16_t i = 0; i < mid; ++i) {
-      left->InsertSeparator(KeyAt(i), Slots()[i].child);
+      const size_t klen = FullKeyTo(i, keybuf);
+      left->AppendSorted(Slice(keybuf, klen), Slots()[i].child);
     }
+    RebuildHints(left->SlotsConst(), left->hdr_.count, left->hints_);
     memcpy(Page(), scratch, kPageSize);
-    *sep_out = std::move(sep);
+    *sep_out = sep;
   }
 
   /// Replaces the swip word of child `i` (used when re-parenting).
@@ -163,8 +344,9 @@ class InnerNode {
   }
 
   /// Removes child `i` (and the separator guarding it). Used when detaching
-  /// a frozen table leaf. Key-heap bytes are leaked until the node is next
-  /// split/rebuilt (acceptable: detach is rare).
+  /// a frozen table leaf and when merging an index leaf into its left
+  /// sibling. Key-heap bytes are leaked until the node is next
+  /// split/rebuilt (acceptable: both operations are rare).
   void RemoveChildAt(uint16_t i) {
     assert(num_children() > 1);
     Entry* slots = Slots();
@@ -178,6 +360,22 @@ class InnerNode {
               static_cast<size_t>(hdr_.count - i) * sizeof(Entry));
     }
     hdr_.count -= 1;
+    RebuildHints(SlotsConst(), hdr_.count, hints_);
+  }
+
+  /// Appends a separator as the new largest entry without search, memmove,
+  /// or hint upkeep — bulk-load path for Split rebuilds (sorted input;
+  /// caller rebuilds hints once).
+  void AppendSorted(const Slice& key, uint64_t child_raw) {
+    assert(HasSpaceFor(key.size()));
+    const char* suf = key.data() + prefix_len_;
+    const size_t slen = key.size() - prefix_len_;
+    Entry* e = Slots() + hdr_.count;
+    e->head = KeyHead(suf, slen);
+    e->key_off = PushHeap(suf, slen);
+    e->key_len = static_cast<uint16_t>(slen);
+    e->child = child_raw;
+    hdr_.count += 1;
   }
 
   /// Finds the child slot whose swip word equals `raw`; returns -1 if absent.
@@ -193,9 +391,17 @@ class InnerNode {
     return -1;
   }
 
+  /// Structural self-check for tests and the integrity walker: fences,
+  /// prefix derivation, suffix order, heads, and hints.
+  bool CheckInvariants(std::string* err) const;
+
+  uint16_t heap_used() const { return hdr_.heap_used; }
+  uint32_t HintAt(uint16_t i) const { return hints_[i]; }
+
  private:
   static constexpr size_t HeaderEnd() {
-    return sizeof(NodeHeader) + sizeof(uint64_t);
+    return sizeof(NodeHeader) + sizeof(uint64_t) + 16 +
+           sizeof(uint32_t) * kNodeHintCount;
   }
   char* Page() { return reinterpret_cast<char*>(this); }
   const char* Page() const { return reinterpret_cast<const char*>(this); }
@@ -203,20 +409,38 @@ class InnerNode {
   const Entry* SlotsConst() const {
     return reinterpret_cast<const Entry*>(Page() + HeaderEnd());
   }
+  uint16_t PushHeap(const char* data, size_t n) {
+    hdr_.heap_used += static_cast<uint16_t>(n);
+    const uint16_t off = static_cast<uint16_t>(kPageSize - hdr_.heap_used);
+    memcpy(Page() + off, data, n);
+    return off;
+  }
 
   NodeHeader hdr_;
   uint64_t leftmost_;
-  // Followed by: Entry slots[count], free space, key heap.
+  uint16_t lower_off_;
+  uint16_t lower_len_;
+  uint16_t upper_off_;
+  uint16_t upper_len_;
+  uint16_t prefix_len_;
+  uint8_t has_upper_;
+  uint8_t pad_[5];
+  uint32_t hints_[kNodeHintCount];
+  // Followed by: Entry slots[count], free space, key heap (suffixes +
+  // fences, growing down from the page tail).
 };
+static_assert(sizeof(InnerNode) == 104);
 
 /// Index leaf: sorted slotted (key, uint64 value) pairs. Secondary indexes
-/// store (user key [+ row_id suffix for non-unique], row_id).
+/// store (user key [+ row_id suffix for non-unique], row_id). Same layout-v2
+/// scheme as InnerNode: fence keys, prefix-truncated suffixes, slot-embedded
+/// heads, and a hint array.
 class IndexLeaf {
  public:
   struct Entry {
-    uint16_t key_off;
-    uint16_t key_len;
-    uint32_t pad;
+    uint32_t head;     // big-endian head of the truncated suffix
+    uint16_t key_off;  // suffix bytes in the key heap
+    uint16_t key_len;  // suffix length (full length - prefix_len)
     uint64_t value;
   };
   static_assert(sizeof(Entry) == 16);
@@ -237,49 +461,93 @@ class IndexLeaf {
 
   uint16_t count() const { return hdr_.count; }
 
-  /// Upper fence: exclusive upper bound of this leaf's key range (the first
-  /// key of the right sibling at split time). The rightmost leaf has none.
-  /// Scans use it as the continuation key when re-descending.
-  bool has_upper_fence() const { return has_upper_ != 0; }
-  Slice upper_fence() const {
-    return Slice(Page() + upper_off_, upper_len_);
-  }
-  void SetUpperFence(const Slice& fence) {
-    assert(FreeSpace() >= fence.size());
-    hdr_.heap_used += static_cast<uint16_t>(fence.size());
-    uint16_t off = static_cast<uint16_t>(kPageSize - hdr_.heap_used);
-    memcpy(Page() + off, fence.data(), fence.size());
-    upper_off_ = off;
-    upper_len_ = static_cast<uint16_t>(fence.size());
-    has_upper_ = 1;
+  /// --- Fences & prefix ------------------------------------------------------
+
+  /// Installs the leaf's key range [lower, upper) and derives the truncation
+  /// prefix. Must run on an empty leaf. Lower fence: inclusive bound (empty
+  /// = -infinity). Upper fence: exclusive bound (the separator to the right
+  /// sibling); the rightmost leaf has none. Scans use the upper fence as the
+  /// continuation key when re-descending.
+  void SetFences(const Slice& lower, const Slice& upper, bool has_upper) {
+    assert(hdr_.count == 0);
+    lower_off_ = PushHeap(lower.data(), lower.size());
+    lower_len_ = static_cast<uint16_t>(lower.size());
+    if (has_upper) {
+      upper_off_ = PushHeap(upper.data(), upper.size());
+      upper_len_ = static_cast<uint16_t>(upper.size());
+      has_upper_ = 1;
+      prefix_len_ = static_cast<uint16_t>(CommonPrefixLen(lower, upper));
+    } else {
+      upper_off_ = upper_len_ = 0;
+      has_upper_ = 0;
+      prefix_len_ = 0;
+    }
   }
 
-  Slice KeyAt(uint16_t i) const {
+  bool has_upper_fence() const { return has_upper_ != 0; }
+  Slice lower_fence() const { return Slice(Page() + lower_off_, lower_len_); }
+  Slice upper_fence() const { return Slice(Page() + upper_off_, upper_len_); }
+  uint16_t prefix_len() const { return prefix_len_; }
+  Slice prefix() const { return Slice(Page() + lower_off_, prefix_len_); }
+
+  /// --- Key access -----------------------------------------------------------
+
+  /// Prefix-truncated suffix of key `i` as stored in the heap.
+  Slice SuffixAt(uint16_t i) const {
     const Entry& e = SlotsConst()[i];
     return Slice(Page() + e.key_off, e.key_len);
   }
+  uint32_t HeadAt(uint16_t i) const { return SlotsConst()[i].head; }
+
+  /// Reconstructs the full key into `out` (>= kMaxKeySize bytes).
+  size_t FullKeyTo(uint16_t i, char* out) const {
+    memcpy(out, Page() + lower_off_, prefix_len_);
+    const Entry& e = SlotsConst()[i];
+    memcpy(out + prefix_len_, Page() + e.key_off, e.key_len);
+    return static_cast<size_t>(prefix_len_) + e.key_len;
+  }
+  std::string FullKey(uint16_t i) const {
+    char buf[kMaxKeySize];
+    return std::string(buf, FullKeyTo(i, buf));
+  }
+
   uint64_t ValueAt(uint16_t i) const { return SlotsConst()[i].value; }
   void SetValueAt(uint16_t i, uint64_t v) { Slots()[i].value = v; }
 
   /// First slot with key >= `key` (== count when all keys are smaller).
+  /// Safe for keys outside the fence range (clamps to 0 / count).
   uint16_t LowerBound(const Slice& key) const {
-    uint16_t lo = 0, hi = hdr_.count;
-    while (lo < hi) {
-      uint16_t mid = (lo + hi) / 2;
-      if (KeyAt(mid).compare(key) < 0) {
-        lo = mid + 1;
-      } else {
-        hi = mid;
-      }
+    const uint16_t n = hdr_.count;
+    if (n == 0) return 0;
+    if (prefix_len_ != 0) {
+      const int c = ComparePrefix(key, Page() + lower_off_, prefix_len_);
+      if (c < 0) return 0;
+      if (c > 0) return n;
     }
-    return lo;
+    const char* suf = key.data() + prefix_len_;
+    const size_t slen = key.size() - prefix_len_;
+    const uint32_t head = KeyHead(suf, slen);
+    uint16_t lo = 0, hi = n;
+    HintedRange(hints_, n, head, &lo, &hi);
+    return SearchSuffixSlots<Entry, /*kCountLessEqual=*/false>(
+        Page(), SlotsConst(), lo, hi, head, suf, slen);
   }
 
   /// Exact-match slot or -1.
   int Find(const Slice& key) const {
-    uint16_t pos = LowerBound(key);
-    if (pos < hdr_.count && KeyAt(pos) == key) return pos;
-    return -1;
+    if (prefix_len_ != 0 &&
+        ComparePrefix(key, Page() + lower_off_, prefix_len_) != 0) {
+      return -1;
+    }
+    const uint16_t pos = LowerBound(key);
+    if (pos >= hdr_.count) return -1;
+    const Entry& e = SlotsConst()[pos];
+    const size_t slen = key.size() - prefix_len_;
+    if (e.key_len != slen ||
+        memcmp(Page() + e.key_off, key.data() + prefix_len_, slen) != 0) {
+      return -1;
+    }
+    return pos;
   }
 
   size_t FreeSpace() const {
@@ -287,78 +555,179 @@ class IndexLeaf {
            static_cast<size_t>(hdr_.count) * sizeof(Entry) - hdr_.heap_used;
   }
   bool HasSpaceFor(size_t key_len) const {
+    // Conservative: charged at full length although only the suffix is
+    // stored.
     return FreeSpace() >= sizeof(Entry) + key_len;
   }
 
-  /// Inserts (key, value); returns false if the key already exists.
+  /// Heap bytes held by removed keys (reclaimable by Compact). O(count).
+  size_t DeadHeapBytes() const {
+    size_t live = lower_len_ + upper_len_;
+    for (uint16_t i = 0; i < hdr_.count; ++i) live += SlotsConst()[i].key_len;
+    return hdr_.heap_used - live;
+  }
+
+  /// True when the leaf is a merge candidate: empty, or so sparse that its
+  /// live payload is below 1/8 of the page.
+  bool Underfull() const {
+    if (hdr_.count == 0) return true;
+    if (hdr_.count >= 16) return false;
+    size_t live = kHeaderBytes + lower_len_ + upper_len_;
+    for (uint16_t i = 0; i < hdr_.count; ++i) {
+      live += sizeof(Entry) + SlotsConst()[i].key_len;
+    }
+    return live * 8 < kPageSize;
+  }
+
+  /// Inserts (key, value); returns false if the key already exists. `key`
+  /// must lie in the leaf's fence range (callers descend by key).
   bool Insert(const Slice& key, uint64_t value) {
     assert(HasSpaceFor(key.size()));
-    uint16_t pos = LowerBound(key);
-    if (pos < hdr_.count && KeyAt(pos) == key) return false;
+    assert(prefix_len_ == 0 ||
+           ComparePrefix(key, Page() + lower_off_, prefix_len_) == 0);
+    const uint16_t pos = LowerBound(key);
+    const char* suf = key.data() + prefix_len_;
+    const size_t slen = key.size() - prefix_len_;
+    if (pos < hdr_.count) {
+      const Entry& e = SlotsConst()[pos];
+      if (e.key_len == slen &&
+          memcmp(Page() + e.key_off, suf, slen) == 0) {
+        return false;
+      }
+    }
     Entry* slots = Slots();
     memmove(slots + pos + 1, slots + pos,
             static_cast<size_t>(hdr_.count - pos) * sizeof(Entry));
-    hdr_.heap_used += static_cast<uint16_t>(key.size());
-    uint16_t off = static_cast<uint16_t>(kPageSize - hdr_.heap_used);
-    memcpy(Page() + off, key.data(), key.size());
-    slots[pos].key_off = off;
-    slots[pos].key_len = static_cast<uint16_t>(key.size());
-    slots[pos].pad = 0;
+    slots[pos].head = KeyHead(suf, slen);
+    slots[pos].key_off = PushHeap(suf, slen);
+    slots[pos].key_len = static_cast<uint16_t>(slen);
     slots[pos].value = value;
     hdr_.count += 1;
+    RebuildHints(SlotsConst(), hdr_.count, hints_);
     return true;
   }
 
   /// Removes `key`; returns false if absent. Heap space of the removed key
   /// is reclaimed lazily by Compact() when the leaf needs room.
   bool Remove(const Slice& key) {
-    int pos = Find(key);
+    const int pos = Find(key);
     if (pos < 0) return false;
     Entry* slots = Slots();
     memmove(slots + pos, slots + pos + 1,
             static_cast<size_t>(hdr_.count - pos - 1) * sizeof(Entry));
     hdr_.count -= 1;
+    RebuildHints(SlotsConst(), hdr_.count, hints_);
     return true;
   }
 
-  /// Rewrites the key heap compactly (dropping dead key bytes).
+  /// Rewrites the key heap compactly (dropping dead key bytes). The fence
+  /// pair is unchanged, so suffixes carry over verbatim — no full-key
+  /// round trip needed.
   void Compact() {
     char scratch[kPageSize];
     IndexLeaf* tmp = Init(scratch);
-    if (has_upper_fence()) tmp->SetUpperFence(upper_fence());
+    tmp->SetFences(lower_fence(), upper_fence(), has_upper_fence());
     for (uint16_t i = 0; i < hdr_.count; ++i) {
-      tmp->Insert(KeyAt(i), ValueAt(i));
+      const Entry& e = SlotsConst()[i];
+      Entry* d = tmp->Slots() + i;
+      d->head = e.head;
+      d->key_off = tmp->PushHeap(Page() + e.key_off, e.key_len);
+      d->key_len = e.key_len;
+      d->value = e.value;
     }
+    tmp->hdr_.count = hdr_.count;
+    RebuildHints(tmp->SlotsConst(), tmp->hdr_.count, tmp->hints_);
     memcpy(Page(), scratch, kPageSize);
   }
 
-  /// Splits into `right` at the median; `sep_out` receives the first key of
-  /// the right node (a valid separator: left keys < sep <= right keys).
-  /// Fences: right inherits this leaf's upper fence; this leaf's new upper
-  /// fence becomes the separator.
-  void Split(char* right_page, std::string* sep_out) {
-    uint16_t mid = hdr_.count / 2;
-    std::string old_upper =
-        has_upper_fence() ? upper_fence().ToString() : std::string();
-    bool had_upper = has_upper_fence();
-    IndexLeaf* right = Init(right_page);
-    if (had_upper) right->SetUpperFence(old_upper);
-    for (uint16_t i = mid; i < hdr_.count; ++i) {
-      right->Insert(KeyAt(i), ValueAt(i));
+  /// Absorbs all keys of `right` (this leaf's immediate right sibling: its
+  /// lower fence is this leaf's upper fence) and widens the fence range to
+  /// [this->lower, right->upper). The merged range usually has a *shorter*
+  /// common prefix, so suffixes regrow; returns false without modifying
+  /// either leaf when the merged payload would not fit.
+  bool MergeFrom(const IndexLeaf* right) {
+    char scratch[kPageSize];
+    char keybuf[kMaxKeySize];
+    const std::string lower = lower_fence().ToString();
+    const std::string upper = right->upper_fence().ToString();
+    IndexLeaf* m = Init(scratch);
+    m->SetFences(lower, upper, right->has_upper_fence());
+    // Left keys then right keys arrive in sorted order (disjoint ranges).
+    for (const IndexLeaf* src : {static_cast<const IndexLeaf*>(this), right}) {
+      for (uint16_t i = 0; i < src->count(); ++i) {
+        const size_t klen = src->FullKeyTo(i, keybuf);
+        if (!m->HasSpaceFor(klen)) return false;
+        m->AppendSorted(Slice(keybuf, klen), src->ValueAt(i));
+      }
     }
-    std::string sep = right->KeyAt(0).ToString();
+    RebuildHints(m->SlotsConst(), m->hdr_.count, m->hints_);
+    memcpy(Page(), scratch, kPageSize);
+    return true;
+  }
+
+  /// Splits into `right` at the median. `sep_out` receives the separator:
+  /// the shortest key prefix r' of the first right key r with
+  /// last-left-key < r' <= r (classic separator truncation, which keeps
+  /// parent separators — and the fences derived from them — short).
+  /// Fences: left becomes [lower, sep), right becomes [sep, upper).
+  void Split(char* right_page, std::string* sep_out) {
+    assert(hdr_.count >= 2);
+    const uint16_t mid = hdr_.count / 2;
+    char lbuf[kMaxKeySize];
+    char rbuf[kMaxKeySize];
+    const size_t llen = FullKeyTo(mid - 1, lbuf);
+    const size_t rlen = FullKeyTo(mid, rbuf);
+    const size_t common = CommonPrefixLen(Slice(lbuf, llen), Slice(rbuf, rlen));
+    const size_t sep_len = common + 1 < rlen ? common + 1 : rlen;
+    const std::string sep(rbuf, sep_len);
+    const std::string lower = lower_fence().ToString();
+    const std::string upper = upper_fence().ToString();
+    const bool had_upper = has_upper_fence();
+    char keybuf[kMaxKeySize];
+    IndexLeaf* right = Init(right_page);
+    right->SetFences(sep, upper, had_upper);
+    for (uint16_t i = mid; i < hdr_.count; ++i) {
+      const size_t klen = FullKeyTo(i, keybuf);
+      right->AppendSorted(Slice(keybuf, klen), ValueAt(i));
+    }
+    RebuildHints(right->SlotsConst(), right->hdr_.count, right->hints_);
     char scratch[kPageSize];
     IndexLeaf* left = Init(scratch);
-    left->SetUpperFence(sep);
+    left->SetFences(lower, sep, true);
     for (uint16_t i = 0; i < mid; ++i) {
-      left->Insert(KeyAt(i), ValueAt(i));
+      const size_t klen = FullKeyTo(i, keybuf);
+      left->AppendSorted(Slice(keybuf, klen), ValueAt(i));
     }
+    RebuildHints(left->SlotsConst(), left->hdr_.count, left->hints_);
     memcpy(Page(), scratch, kPageSize);
-    *sep_out = std::move(sep);
+    *sep_out = sep;
   }
 
+  /// Structural self-check for tests and the integrity walker: fences,
+  /// prefix derivation, suffix order, heads, and hints.
+  bool CheckInvariants(std::string* err) const;
+
+  uint16_t heap_used() const { return hdr_.heap_used; }
+  uint32_t HintAt(uint16_t i) const { return hints_[i]; }
+
  private:
-  static constexpr size_t kHeaderBytes = sizeof(NodeHeader) + 8;
+  static constexpr size_t kHeaderBytes =
+      sizeof(NodeHeader) + 16 + sizeof(uint32_t) * kNodeHintCount;
+
+  /// Appends (key, value) as the new largest entry without search, memmove,
+  /// or hint upkeep — the bulk-load path for split/compact/merge rebuilds,
+  /// where keys arrive in sorted order and the caller rebuilds hints once.
+  void AppendSorted(const Slice& key, uint64_t value) {
+    assert(HasSpaceFor(key.size()));
+    const char* suf = key.data() + prefix_len_;
+    const size_t slen = key.size() - prefix_len_;
+    Entry* e = Slots() + hdr_.count;
+    e->head = KeyHead(suf, slen);
+    e->key_off = PushHeap(suf, slen);
+    e->key_len = static_cast<uint16_t>(slen);
+    e->value = value;
+    hdr_.count += 1;
+  }
 
   char* Page() { return reinterpret_cast<char*>(this); }
   const char* Page() const { return reinterpret_cast<const char*>(this); }
@@ -368,13 +737,95 @@ class IndexLeaf {
   const Entry* SlotsConst() const {
     return reinterpret_cast<const Entry*>(Page() + kHeaderBytes);
   }
+  uint16_t PushHeap(const char* data, size_t n) {
+    hdr_.heap_used += static_cast<uint16_t>(n);
+    const uint16_t off = static_cast<uint16_t>(kPageSize - hdr_.heap_used);
+    memcpy(Page() + off, data, n);
+    return off;
+  }
 
   NodeHeader hdr_;
-  uint16_t upper_off_ = 0;
-  uint16_t upper_len_ = 0;
-  uint8_t has_upper_ = 0;
-  uint8_t pad_[3] = {};
+  uint16_t lower_off_;
+  uint16_t lower_len_;
+  uint16_t upper_off_;
+  uint16_t upper_len_;
+  uint16_t prefix_len_;
+  uint8_t has_upper_;
+  uint8_t pad_[5];
+  uint32_t hints_[kNodeHintCount];
+  // Followed by: Entry slots[count], free space, key heap (suffixes +
+  // fences, growing down from the page tail).
 };
+static_assert(sizeof(IndexLeaf) == 96);
+
+namespace node_internal {
+
+/// Shared invariant checker over either node class (both use 16-byte
+/// entries): fences ordered, prefix derived from fences, suffixes sorted,
+/// heads consistent, keys inside the fence range, hints fresh.
+template <typename Node>
+inline bool CheckNodeInvariants(const Node& n, size_t header_bytes,
+                                std::string* err) {
+  auto fail = [err](const char* m) {
+    if (err != nullptr) *err = m;
+    return false;
+  };
+  const size_t slots_end = header_bytes + static_cast<size_t>(n.count()) *
+                                              sizeof(typename Node::Entry);
+  if (slots_end > kPageSize - n.heap_used()) {
+    return fail("slot array overlaps key heap");
+  }
+  const Slice lower = n.lower_fence();
+  const Slice upper = n.upper_fence();
+  if (n.has_upper_fence()) {
+    if (lower.compare(upper) >= 0) return fail("lower fence >= upper fence");
+    if (n.prefix_len() != CommonPrefixLen(lower, upper)) {
+      return fail("prefix_len != common prefix of fences");
+    }
+  } else if (n.prefix_len() != 0) {
+    return fail("non-zero prefix without upper fence");
+  }
+  char prev[kMaxKeySize];
+  size_t prev_len = 0;
+  char cur[kMaxKeySize];
+  for (uint16_t i = 0; i < n.count(); ++i) {
+    const Slice suf = n.SuffixAt(i);
+    if (n.HeadAt(i) != KeyHead(suf.data(), suf.size())) {
+      return fail("head does not match suffix");
+    }
+    const size_t cur_len = n.FullKeyTo(i, cur);
+    if (i > 0 && Slice(prev, prev_len).compare(Slice(cur, cur_len)) >= 0) {
+      return fail("keys not strictly sorted");
+    }
+    if (Slice(cur, cur_len).compare(lower) < 0) {
+      return fail("key below lower fence");
+    }
+    if (n.has_upper_fence() && Slice(cur, cur_len).compare(upper) >= 0) {
+      return fail("key not below upper fence");
+    }
+    memcpy(prev, cur, cur_len);
+    prev_len = cur_len;
+  }
+  if (n.count() > kNodeHintCount * 2) {
+    const uint16_t dist = n.count() / (kNodeHintCount + 1);
+    for (uint16_t i = 0; i < kNodeHintCount; ++i) {
+      if (n.HintAt(i) != n.HeadAt(static_cast<uint16_t>(dist * (i + 1)))) {
+        return fail("stale hint entry");
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace node_internal
+
+inline bool InnerNode::CheckInvariants(std::string* err) const {
+  return node_internal::CheckNodeInvariants(*this, HeaderEnd(), err);
+}
+
+inline bool IndexLeaf::CheckInvariants(std::string* err) const {
+  return node_internal::CheckNodeInvariants(*this, kHeaderBytes, err);
+}
 
 }  // namespace phoebe
 

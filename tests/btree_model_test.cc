@@ -1,0 +1,232 @@
+// Randomized differential test: the layout-v2 B-Tree vs std::map under
+// adversarial key shapes — long shared prefixes (fence truncation), keys
+// whose 4-byte heads collide (tie-break paths), keys that are exact
+// prefixes of other keys (zero-length suffixes), and kMaxKeySize keys.
+// Each seed drives a few thousand mixed ops, cross-checks every result,
+// and runs the whole-tree structural integrity check periodically.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/coding.h"
+#include "common/random.h"
+#include "storage/btree.h"
+#include "storage/node.h"
+#include "tests/test_util.h"
+
+namespace phoebe {
+namespace {
+
+class BTreeModelTest : public ::testing::TestWithParam<uint32_t> {
+ protected:
+  void SetUp() override {
+    dir_ = std::make_unique<TestDir>("btree_model");
+    auto pf = PageFile::Open(Env::Default(), dir_->path() + "/data.pages");
+    ASSERT_OK_R(pf);
+    page_file_ = std::move(pf.value());
+    BufferPool::Options opts;
+    opts.buffer_bytes = 64ull << 20;
+    opts.partitions = 2;
+    pool_ = std::make_unique<BufferPool>(opts, page_file_.get());
+    registry_ = std::make_unique<BTreeRegistry>(pool_.get());
+    auto tree = BTree::Create(pool_.get(), registry_.get(),
+                              BTree::TreeKind::kIndex, nullptr, nullptr);
+    ASSERT_OK_R(tree);
+    tree_ = std::move(tree.value());
+    ctx_.synchronous = true;
+  }
+
+  void TearDown() override {
+    tree_.reset();
+    registry_.reset();
+    pool_.reset();
+    page_file_.reset();
+    dir_.reset();
+  }
+
+  std::unique_ptr<TestDir> dir_;
+  std::unique_ptr<PageFile> page_file_;
+  std::unique_ptr<BufferPool> pool_;
+  std::unique_ptr<BTreeRegistry> registry_;
+  std::unique_ptr<BTree> tree_;
+  OpContext ctx_;
+};
+
+std::string Be64(uint64_t v) {
+  std::string k(8, '\0');
+  EncodeBigEndian64(k.data(), v);
+  return k;
+}
+
+/// Draws a key from one of five adversarial families. The family mix is
+/// per-seed so different seeds stress different node shapes.
+std::string DrawKey(Random* rng) {
+  switch (rng->Uniform(5)) {
+    case 0: {
+      // Long shared prefix: every key in the family shares 256 bytes, so
+      // whole subtrees store 8-byte suffixes behind a truncated fence pair.
+      std::string k(256, 'P');
+      k += Be64(rng->Uniform(4096));
+      return k;
+    }
+    case 1: {
+      // Head collision: identical first 4 bytes, divergence only in bytes
+      // [4, 12) — every comparison falls through the uint32 head to memcmp.
+      std::string k = "HEAD";
+      k += Be64(rng->Uniform(1u << 16));
+      return k;
+    }
+    case 2: {
+      // Prefix-exact chains: "q", "qq", ..., up to 24 repeats. Shorter keys
+      // are exact prefixes of longer ones, exercising zero-padding in heads
+      // and zero-length suffixes when a key equals a node's lower fence.
+      return std::string(1 + rng->Uniform(24), 'q');
+    }
+    case 3: {
+      // Maximum-size keys sharing all but the tail, near the 512-byte cap.
+      std::string k(kMaxKeySize - 8, 'M');
+      k += Be64(rng->Uniform(512));
+      return k;
+    }
+    default:
+      // Short dense integers: the classic 8-byte monotonic-ish workload.
+      return Be64(rng->Uniform(1u << 14));
+  }
+}
+
+TEST_P(BTreeModelTest, MixedOpsMatchStdMap) {
+  const uint32_t seed = GetParam();
+  Random rng(seed * 0x9E3779B9u + 1);
+  std::map<std::string, uint64_t> model;
+  uint64_t next_value = 1;
+
+  constexpr int kOps = 3000;
+  for (int op = 0; op < kOps; ++op) {
+    const std::string key = DrawKey(&rng);
+    switch (rng.Uniform(10)) {
+      case 0:
+      case 1:
+      case 2:
+      case 3:
+      case 4: {  // insert (50%)
+        const uint64_t v = next_value++;
+        Status s = tree_->IndexInsert(&ctx_, key, v);
+        auto [it, inserted] = model.emplace(key, v);
+        if (inserted) {
+          ASSERT_OK(s);
+        } else {
+          ASSERT_TRUE(s.IsKeyExists()) << "seed=" << seed << " op=" << op;
+        }
+        break;
+      }
+      case 5:
+      case 6: {  // remove (20%)
+        Status s = tree_->IndexRemove(&ctx_, key);
+        if (model.erase(key) > 0) {
+          ASSERT_OK(s);
+        } else {
+          ASSERT_TRUE(s.IsNotFound()) << "seed=" << seed << " op=" << op;
+        }
+        break;
+      }
+      case 7:
+      case 8: {  // point lookup (20%)
+        uint64_t got = 0;
+        Status s = tree_->IndexLookup(&ctx_, key, &got);
+        auto it = model.find(key);
+        if (it != model.end()) {
+          ASSERT_OK(s);
+          ASSERT_EQ(got, it->second) << "seed=" << seed << " op=" << op;
+        } else {
+          ASSERT_TRUE(s.IsNotFound()) << "seed=" << seed << " op=" << op;
+        }
+        break;
+      }
+      default: {  // short range scan (10%)
+        std::string hi = DrawKey(&rng);
+        std::string lo = key;
+        if (hi < lo) std::swap(lo, hi);
+        std::vector<std::pair<std::string, uint64_t>> got;
+        ASSERT_OK(tree_->IndexScan(&ctx_, lo, hi,
+                                   [&got](Slice k, uint64_t v) {
+                                     got.emplace_back(k.ToString(), v);
+                                     return true;
+                                   }));
+        std::vector<std::pair<std::string, uint64_t>> want;
+        for (auto it = model.lower_bound(lo);
+             it != model.end() && it->first < hi; ++it) {
+          want.emplace_back(it->first, it->second);
+        }
+        ASSERT_EQ(got, want) << "seed=" << seed << " op=" << op;
+        break;
+      }
+    }
+    if (op % 500 == 499) {
+      ASSERT_OK(tree_->CheckIntegrity(&ctx_));
+    }
+  }
+
+  // Final pass: full ascending scan must reproduce the model exactly, and
+  // the structural invariants must hold after all the splits and merges.
+  ASSERT_OK(tree_->CheckIntegrity(&ctx_));
+  std::vector<std::pair<std::string, uint64_t>> all;
+  std::string hi(kMaxKeySize, '\xff');
+  ASSERT_OK(tree_->IndexScan(&ctx_, "", hi, [&all](Slice k, uint64_t v) {
+    all.emplace_back(k.ToString(), v);
+    return true;
+  }));
+  ASSERT_EQ(all.size(), model.size()) << "seed=" << seed;
+  auto it = model.begin();
+  for (size_t i = 0; i < all.size(); ++i, ++it) {
+    ASSERT_EQ(all[i].first, it->first) << "seed=" << seed << " i=" << i;
+    ASSERT_EQ(all[i].second, it->second) << "seed=" << seed << " i=" << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BTreeModelTest, ::testing::Range(0u, 100u));
+
+/// One deeper run: grow past multiple levels, then drain to empty through
+/// the merge path, checking integrity at every stage.
+TEST(BTreeModelDrainTest, GrowThenDrainToEmpty) {
+  TestDir dir("btree_model_drain");
+  auto pf = PageFile::Open(Env::Default(), dir.path() + "/data.pages");
+  ASSERT_OK_R(pf);
+  auto page_file = std::move(pf.value());
+  BufferPool::Options opts;
+  opts.buffer_bytes = 64ull << 20;
+  BufferPool pool(opts, page_file.get());
+  BTreeRegistry registry(&pool);
+  auto created = BTree::Create(&pool, &registry, BTree::TreeKind::kIndex,
+                               nullptr, nullptr);
+  ASSERT_OK_R(created);
+  auto tree = std::move(created.value());
+  OpContext ctx;
+  ctx.synchronous = true;
+
+  constexpr uint64_t kN = 50000;
+  Random rng(42);
+  std::vector<uint64_t> order(kN);
+  for (uint64_t i = 0; i < kN; ++i) order[i] = i;
+  for (uint64_t i = kN; i > 1; --i) {
+    std::swap(order[i - 1], order[rng.Uniform(i)]);
+  }
+
+  for (uint64_t i = 0; i < kN; ++i) {
+    ASSERT_OK(tree->IndexInsert(&ctx, Be64(order[i] * 7919), order[i]));
+  }
+  EXPECT_GT(tree->Height(&ctx), 1);
+  ASSERT_OK(tree->CheckIntegrity(&ctx));
+
+  for (uint64_t i = 0; i < kN; ++i) {
+    ASSERT_OK(tree->IndexRemove(&ctx, Be64(order[i] * 7919)));
+    if (i % 10000 == 9999) ASSERT_OK(tree->CheckIntegrity(&ctx));
+  }
+  ASSERT_OK(tree->CheckIntegrity(&ctx));
+  uint64_t v = 0;
+  EXPECT_TRUE(tree->IndexLookup(&ctx, Be64(0), &v).IsNotFound());
+}
+
+}  // namespace
+}  // namespace phoebe

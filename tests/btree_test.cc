@@ -284,8 +284,14 @@ TEST_F(BTreeTest, ConcurrentReadersDuringWrites) {
   }
   OpContext wctx;
   wctx.synchronous = true;
-  for (uint64_t i = 2000; i < 12000; ++i) {
+  // Keep writing until the readers demonstrably made progress: a fixed
+  // 10k-insert burst takes only a few ms, and on a single-CPU host the
+  // reader threads may not even be scheduled within it. The 200k cap
+  // bounds the run; real reader starvation still fails the check below.
+  uint64_t i = 2000;
+  while (i < 12000 || (reads.load() < 1100 && i < 200000)) {
     ASSERT_OK(tree->IndexInsert(&wctx, Key(i), i));
+    ++i;
   }
   stop = true;
   for (auto& t : readers) t.join();

@@ -1,9 +1,11 @@
 // B-Tree node layout unit tests: inner-node separator logic, index-leaf
-// slotting, fence keys, compaction, splits, child removal.
+// slotting, fence keys, prefix truncation, key heads, hints, compaction,
+// splits, merges, child removal.
 #include "storage/node.h"
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <map>
 #include <vector>
 
@@ -51,8 +53,10 @@ TEST_F(InnerNodeTest, InsertKeepsSorted) {
     node_->InsertSeparator(keys[i], MakeChild(i + 1));
   }
   for (uint16_t i = 1; i < node_->count(); ++i) {
-    EXPECT_LT(node_->KeyAt(i - 1).compare(node_->KeyAt(i)), 0);
+    EXPECT_LT(node_->FullKey(i - 1).compare(node_->FullKey(i)), 0);
   }
+  std::string err;
+  EXPECT_TRUE(node_->CheckInvariants(&err)) << err;
 }
 
 TEST_F(InnerNodeTest, RemoveChildAt) {
@@ -68,6 +72,8 @@ TEST_F(InnerNodeTest, RemoveChildAt) {
   node_->RemoveChildAt(0);
   ASSERT_EQ(node_->num_children(), 2);
   EXPECT_EQ(node_->ChildAt(0)->raw(), MakeChild(1));
+  std::string err;
+  EXPECT_TRUE(node_->CheckInvariants(&err)) << err;
 }
 
 TEST_F(InnerNodeTest, SplitDistributesChildren) {
@@ -85,15 +91,45 @@ TEST_F(InnerNodeTest, SplitDistributesChildren) {
   std::string sep;
   node_->Split(right_page.data(), &sep);
   InnerNode* right = InnerNode::Cast(right_page.data());
-  // Every key routes to the correct half relative to the separator.
+  // One separator moved up; both halves structurally sound with chained
+  // fences around the separator.
   EXPECT_EQ(node_->count() + right->count() + 1, before);
-  for (const auto& k : keys) {
-    if (Slice(k).compare(sep) < 0) {
-      EXPECT_LT(node_->FindChild(k), node_->num_children());
-    } else {
-      EXPECT_LT(right->FindChild(k), right->num_children());
-    }
-  }
+  std::string err;
+  EXPECT_TRUE(node_->CheckInvariants(&err)) << err;
+  EXPECT_TRUE(right->CheckInvariants(&err)) << err;
+  ASSERT_TRUE(node_->has_upper_fence());
+  EXPECT_EQ(node_->upper_fence(), Slice(sep));
+  EXPECT_EQ(right->lower_fence(), Slice(sep));
+  EXPECT_FALSE(right->has_upper_fence());
+  // Separator order is preserved end to end across the two halves.
+  std::vector<std::string> all;
+  for (uint16_t s = 0; s < node_->count(); ++s) all.push_back(node_->FullKey(s));
+  all.push_back(sep);
+  for (uint16_t s = 0; s < right->count(); ++s) all.push_back(right->FullKey(s));
+  EXPECT_EQ(all.size(), keys.size());
+  std::sort(keys.begin(), keys.end());
+  EXPECT_EQ(all, keys);
+}
+
+TEST_F(InnerNodeTest, PrefixTruncatedSeparators) {
+  const std::string lower = "user/000123/";
+  const std::string upper = "user/000123/zzzz";
+  node_->SetFences(lower, upper, true);
+  ASSERT_EQ(node_->prefix_len(), 12u);
+  node_->InsertSeparator("user/000123/g", MakeChild(1));
+  node_->InsertSeparator("user/000123/p", MakeChild(2));
+  // Only the one-byte suffixes hit the heap (beyond the fence bytes).
+  EXPECT_EQ(node_->SuffixAt(0).size(), 1u);
+  EXPECT_EQ(node_->FullKey(0), "user/000123/g");
+  EXPECT_EQ(node_->FindChild("user/000123/a"), 0);
+  EXPECT_EQ(node_->FindChild("user/000123/g"), 1);
+  EXPECT_EQ(node_->FindChild("user/000123/m"), 1);
+  EXPECT_EQ(node_->FindChild("user/000123/q"), 2);
+  // Out-of-range keys clamp to the edge children.
+  EXPECT_EQ(node_->FindChild("user/000122/x"), 0);
+  EXPECT_EQ(node_->FindChild("user/000124"), 2);
+  std::string err;
+  EXPECT_TRUE(node_->CheckInvariants(&err)) << err;
 }
 
 TEST_F(InnerNodeTest, FindChildBySwipWord) {
@@ -124,7 +160,7 @@ TEST_F(IndexLeafTest, InsertFindRemove) {
   EXPECT_TRUE(leaf_->Insert("cherry", 3));
   EXPECT_FALSE(leaf_->Insert("apple", 9));  // duplicate
   EXPECT_EQ(leaf_->count(), 3);
-  EXPECT_EQ(leaf_->KeyAt(0), Slice("apple"));
+  EXPECT_EQ(leaf_->FullKey(0), "apple");
   EXPECT_EQ(leaf_->ValueAt(leaf_->Find("cherry")), 3u);
   EXPECT_EQ(leaf_->Find("durian"), -1);
   EXPECT_TRUE(leaf_->Remove("banana"));
@@ -141,6 +177,92 @@ TEST_F(IndexLeafTest, LowerBound) {
   EXPECT_EQ(leaf_->LowerBound("c"), 1);
   EXPECT_EQ(leaf_->LowerBound("f"), 2);
   EXPECT_EQ(leaf_->LowerBound("z"), 3);
+}
+
+TEST_F(IndexLeafTest, HeadTieBreaksPastByteFour) {
+  // All of these share the same 4-byte head "AAAA" (or a zero-padded prefix
+  // of it), so every probe exercises the tie-break paths: length compare for
+  // short keys, suffix memcmp for long ones.
+  const char* keys[] = {"AAAA", "AAA", "AAAAB", "AAAA1", "AAAA2", "AA",
+                        "AAAABBBB", "AAAABBBC"};
+  std::map<std::string, uint64_t> model;
+  uint64_t v = 0;
+  for (const char* k : keys) {
+    EXPECT_TRUE(leaf_->Insert(k, v));
+    model.emplace(k, v);
+    ++v;
+  }
+  uint16_t s = 0;
+  for (const auto& [k, val] : model) {
+    EXPECT_EQ(leaf_->FullKey(s), k);
+    EXPECT_EQ(leaf_->ValueAt(s), val);
+    EXPECT_EQ(leaf_->Find(k), s);
+    ++s;
+  }
+  EXPECT_EQ(leaf_->Find("AAAA3"), -1);
+  EXPECT_EQ(leaf_->LowerBound("AAAA1x"), leaf_->Find("AAAA2"));
+  std::string err;
+  EXPECT_TRUE(leaf_->CheckInvariants(&err)) << err;
+}
+
+TEST_F(IndexLeafTest, PrefixTruncationAndEmptySuffix) {
+  leaf_->SetFences("appl", "applz", true);
+  ASSERT_EQ(leaf_->prefix_len(), 4u);
+  // A key equal to the prefix stores a zero-length suffix with head 0.
+  EXPECT_TRUE(leaf_->Insert("appl", 10));
+  EXPECT_TRUE(leaf_->Insert("apple", 11));
+  EXPECT_TRUE(leaf_->Insert("applesauce", 12));
+  EXPECT_EQ(leaf_->SuffixAt(0).size(), 0u);
+  EXPECT_EQ(leaf_->HeadAt(0), 0u);
+  EXPECT_EQ(leaf_->FullKey(0), "appl");
+  EXPECT_EQ(leaf_->ValueAt(leaf_->Find("appl")), 10u);
+  EXPECT_EQ(leaf_->ValueAt(leaf_->Find("applesauce")), 12u);
+  // Keys outside the prefix range miss without touching the slot array.
+  EXPECT_EQ(leaf_->Find("apricot"), -1);
+  EXPECT_EQ(leaf_->Find("ap"), -1);
+  EXPECT_EQ(leaf_->LowerBound("aaaa"), 0);
+  EXPECT_EQ(leaf_->LowerBound("az"), leaf_->count());
+  EXPECT_TRUE(leaf_->Remove("appl"));
+  EXPECT_EQ(leaf_->Find("appl"), -1);
+  std::string err;
+  EXPECT_TRUE(leaf_->CheckInvariants(&err)) << err;
+}
+
+TEST_F(IndexLeafTest, MaxKeySizeWithNearFullPrefix) {
+  const std::string lower(kMaxKeySize, 'a');
+  std::string upper(kMaxKeySize - 1, 'a');
+  upper += 'b';
+  leaf_->SetFences(lower, upper, true);
+  ASSERT_EQ(leaf_->prefix_len(), kMaxKeySize - 1);
+  // The lower fence itself is a valid key: 511 shared bytes, 1-byte suffix.
+  EXPECT_TRUE(leaf_->Insert(lower, 7));
+  EXPECT_EQ(leaf_->SuffixAt(0).size(), 1u);
+  EXPECT_EQ(leaf_->FullKey(0), lower);
+  EXPECT_EQ(leaf_->ValueAt(leaf_->Find(lower)), 7u);
+  std::string err;
+  EXPECT_TRUE(leaf_->CheckInvariants(&err)) << err;
+}
+
+TEST_F(IndexLeafTest, HintsTrackStructuralChanges) {
+  // Push well past the 2 * kNodeHintCount activation threshold, then churn.
+  std::string err;
+  for (int i = 0; i < 200; ++i) {
+    char buf[16];
+    snprintf(buf, sizeof(buf), "h%06d", i * 7 % 200);
+    ASSERT_TRUE(leaf_->Insert(buf, static_cast<uint64_t>(i)));
+    ASSERT_TRUE(leaf_->CheckInvariants(&err)) << err;
+  }
+  for (int i = 0; i < 200; i += 3) {
+    char buf[16];
+    snprintf(buf, sizeof(buf), "h%06d", i);
+    ASSERT_TRUE(leaf_->Remove(buf));
+    ASSERT_TRUE(leaf_->CheckInvariants(&err)) << err;
+  }
+  for (int i = 0; i < 200; ++i) {
+    char buf[16];
+    snprintf(buf, sizeof(buf), "h%06d", i);
+    EXPECT_EQ(leaf_->Find(buf) >= 0, i % 3 != 0);
+  }
 }
 
 TEST_F(IndexLeafTest, CompactReclaimsDeadHeapBytes) {
@@ -161,11 +283,13 @@ TEST_F(IndexLeafTest, CompactReclaimsDeadHeapBytes) {
   EXPECT_GT(leaf_->FreeSpace(), full_free + (i / 2) * 16u);
   // Survivors intact and sorted.
   for (uint16_t s = 1; s < leaf_->count(); ++s) {
-    EXPECT_LT(leaf_->KeyAt(s - 1).compare(leaf_->KeyAt(s)), 0);
+    EXPECT_LT(leaf_->FullKey(s - 1).compare(leaf_->FullKey(s)), 0);
   }
+  std::string err;
+  EXPECT_TRUE(leaf_->CheckInvariants(&err)) << err;
 }
 
-TEST_F(IndexLeafTest, SplitSetsFences) {
+TEST_F(IndexLeafTest, SplitSetsFencesAndTruncatedSeparator) {
   EXPECT_FALSE(leaf_->has_upper_fence());
   int i = 0;
   while (leaf_->HasSpaceFor(16)) {
@@ -173,16 +297,25 @@ TEST_F(IndexLeafTest, SplitSetsFences) {
     snprintf(buf, sizeof(buf), "k%010d", i++);
     leaf_->Insert(buf, static_cast<uint64_t>(i));
   }
+  const std::string last_left_before = leaf_->FullKey(leaf_->count() / 2 - 1);
+  const std::string first_right_before = leaf_->FullKey(leaf_->count() / 2);
   std::vector<char> right_page(kPageSize);
   std::string sep;
   leaf_->Split(right_page.data(), &sep);
   IndexLeaf* right = IndexLeaf::Cast(right_page.data());
-  // Left's upper fence == separator == right's first key; right inherits no
-  // fence (was rightmost).
+  // Truncated separator: strictly above the left half, at or below the first
+  // right key (and a prefix of it).
+  EXPECT_GT(Slice(sep).compare(last_left_before), 0);
+  EXPECT_LE(Slice(sep).compare(first_right_before), 0);
+  EXPECT_TRUE(Slice(first_right_before).starts_with(Slice(sep)));
   ASSERT_TRUE(leaf_->has_upper_fence());
   EXPECT_EQ(leaf_->upper_fence(), Slice(sep));
-  EXPECT_EQ(right->KeyAt(0), Slice(sep));
+  EXPECT_EQ(right->lower_fence(), Slice(sep));
   EXPECT_FALSE(right->has_upper_fence());
+  EXPECT_EQ(right->FullKey(0), first_right_before);
+  std::string err;
+  EXPECT_TRUE(leaf_->CheckInvariants(&err)) << err;
+  EXPECT_TRUE(right->CheckInvariants(&err)) << err;
   // Split again on the left: new right inherits left's old fence.
   std::vector<char> mid_page(kPageSize);
   std::string sep2;
@@ -191,6 +324,71 @@ TEST_F(IndexLeafTest, SplitSetsFences) {
   ASSERT_TRUE(mid->has_upper_fence());
   EXPECT_EQ(mid->upper_fence(), Slice(sep));
   EXPECT_EQ(leaf_->upper_fence(), Slice(sep2));
+  EXPECT_TRUE(mid->CheckInvariants(&err)) << err;
+}
+
+TEST_F(IndexLeafTest, MergeFromRightSibling) {
+  // Build two adjacent leaves by splitting, thin both out, merge back.
+  int i = 0;
+  while (leaf_->HasSpaceFor(16)) {
+    char buf[20];
+    snprintf(buf, sizeof(buf), "m%010d", i++);
+    leaf_->Insert(buf, static_cast<uint64_t>(i));
+  }
+  std::vector<char> right_page(kPageSize);
+  std::string sep;
+  leaf_->Split(right_page.data(), &sep);
+  IndexLeaf* right = IndexLeaf::Cast(right_page.data());
+  std::map<std::string, uint64_t> survivors;
+  for (IndexLeaf* l : {leaf_, right}) {
+    std::vector<std::string> keys;
+    for (uint16_t s = 0; s < l->count(); ++s) keys.push_back(l->FullKey(s));
+    for (size_t k = 0; k < keys.size(); ++k) {
+      if (k % 7 == 0) {
+        survivors.emplace(keys[k], l->ValueAt(l->Find(keys[k])));
+      } else {
+        ASSERT_TRUE(l->Remove(keys[k]));
+      }
+    }
+  }
+  ASSERT_TRUE(leaf_->MergeFrom(right));
+  EXPECT_EQ(leaf_->count(), survivors.size());
+  EXPECT_FALSE(leaf_->has_upper_fence());  // widened to the old right bound
+  uint16_t s = 0;
+  for (const auto& [k, v] : survivors) {
+    EXPECT_EQ(leaf_->FullKey(s), k);
+    EXPECT_EQ(leaf_->ValueAt(s), v);
+    ++s;
+  }
+  std::string err;
+  EXPECT_TRUE(leaf_->CheckInvariants(&err)) << err;
+}
+
+TEST_F(IndexLeafTest, MergeFromRefusesOverflow) {
+  // Two full siblings cannot merge; the left leaf must stay untouched.
+  leaf_->SetFences("k0", "k5", true);
+  int i = 0;
+  while (leaf_->HasSpaceFor(40)) {
+    char buf[48];
+    snprintf(buf, sizeof(buf), "k0-%08d-padpadpadpadpadpad", i++);
+    ASSERT_TRUE(leaf_->Insert(buf, static_cast<uint64_t>(i)));
+  }
+  std::vector<char> right_page(kPageSize);
+  IndexLeaf* right = IndexLeaf::Init(right_page.data());
+  right->SetFences("k5", "k9", true);
+  i = 0;
+  while (right->HasSpaceFor(40)) {
+    char buf[48];
+    snprintf(buf, sizeof(buf), "k5-%08d-padpadpadpadpadpad", i++);
+    ASSERT_TRUE(right->Insert(buf, static_cast<uint64_t>(i)));
+  }
+  const uint16_t before = leaf_->count();
+  const std::string upper_before = leaf_->upper_fence().ToString();
+  EXPECT_FALSE(leaf_->MergeFrom(right));
+  EXPECT_EQ(leaf_->count(), before);
+  EXPECT_EQ(leaf_->upper_fence().ToString(), upper_before);
+  std::string err;
+  EXPECT_TRUE(leaf_->CheckInvariants(&err)) << err;
 }
 
 TEST_F(IndexLeafTest, RandomizedAgainstMap) {
@@ -209,10 +407,12 @@ TEST_F(IndexLeafTest, RandomizedAgainstMap) {
   EXPECT_EQ(leaf_->count(), model.size());
   uint16_t s = 0;
   for (const auto& [k, v] : model) {
-    EXPECT_EQ(leaf_->KeyAt(s).ToString(), k);
+    EXPECT_EQ(leaf_->FullKey(s), k);
     EXPECT_EQ(leaf_->ValueAt(s), v);
     ++s;
   }
+  std::string err;
+  EXPECT_TRUE(leaf_->CheckInvariants(&err)) << err;
 }
 
 }  // namespace
